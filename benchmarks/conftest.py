@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark module regenerates one paper artifact (see DESIGN.md §5).
+Benchmarks run each sweep exactly once (``rounds=1``): the *measured*
+quantity of interest is simulated seconds inside the sweep, which is
+deterministic; pytest-benchmark's wall-clock numbers just record how
+long the simulation harness takes.
+
+Set ``REPRO_FULL=1`` to run every figure at the paper's full parameter
+ranges (the 640/1280 images default to a reduced processor sweep to
+keep the default suite quick).
+"""
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    """True when the paper's complete parameter ranges are requested."""
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print a regenerated table/figure under ``-s``."""
+
+    def _show(text: str) -> None:
+        print()
+        print(text)
+
+    return _show

@@ -1,0 +1,61 @@
+"""FIG4 — Figure 4: Mandelbrot at 320×320.
+
+Paper: MESSENGERS, PVM 3.3, and sequential C on 1–32 SPARCstation 5s;
+region (−2.0, −1.2, 0.4, 1.2), 512 colors, grids 8×8 / 16×16 / 32×32.
+
+Claims checked:
+* both parallel systems beat sequential C from a few processors on;
+* PVM is (slightly) better when the grid is finest and the processor
+  count low; MESSENGERS overtakes as granularity grows.
+"""
+
+from conftest import full_scale
+
+from repro.bench import (
+    PAPER_GRIDS,
+    PAPER_PROCESSOR_COUNTS,
+    assert_roughly_monotone,
+    run_figure,
+)
+
+IMAGE = 320
+
+
+def _sweep():
+    return run_figure(
+        IMAGE,
+        grids=PAPER_GRIDS,
+        processor_counts=PAPER_PROCESSOR_COUNTS,
+    )
+
+
+def test_fig4_mandelbrot_320(benchmark, show):
+    sweep = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    show(sweep.as_figure().render())
+
+    seq = sweep.sequential_seconds
+
+    # Speedup over sequential C "in most cases, even when only two
+    # processors are used" — at the coarse grid already at P=2.
+    assert sweep.seconds(8, "messengers", 2) < seq
+    assert sweep.seconds(8, "pvm", 2) < seq
+    assert sweep.seconds(8, "messengers", 8) < seq / 3
+
+    # PVM slightly better at the finest grid / low processor counts.
+    assert sweep.seconds(32, "pvm", 2) < sweep.seconds(
+        32, "messengers", 2
+    )
+
+    # MESSENGERS surpasses PVM once granularity is sufficiently large.
+    for procs in (8, 16, 32):
+        assert sweep.seconds(8, "messengers", procs) < sweep.seconds(
+            8, "pvm", procs
+        )
+
+    # MESSENGERS keeps scaling out to 32 processors at the coarse grid.
+    msgr_curve = [
+        sweep.seconds(8, "messengers", p) for p in PAPER_PROCESSOR_COUNTS
+    ]
+    assert_roughly_monotone(
+        msgr_curve, decreasing=True, label="messengers-8x8"
+    )

@@ -1,0 +1,51 @@
+"""FIG5 — Figure 5: Mandelbrot at 640×640.
+
+Same sweep as Figure 4 at four times the pixel count.  Larger blocks
+shift the balance further toward MESSENGERS at every grid.
+
+The default run trims the processor sweep to keep the suite quick;
+``REPRO_FULL=1`` restores the paper's full 1–32 range.
+"""
+
+from conftest import full_scale
+
+from repro.bench import PAPER_GRIDS, PAPER_PROCESSOR_COUNTS, run_figure
+
+IMAGE = 640
+
+
+def _sweep():
+    processor_counts = (
+        PAPER_PROCESSOR_COUNTS if full_scale() else (1, 2, 8, 32)
+    )
+    return run_figure(
+        IMAGE, grids=PAPER_GRIDS, processor_counts=processor_counts
+    )
+
+
+def test_fig5_mandelbrot_640(benchmark, show):
+    sweep = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    show(sweep.as_figure().render())
+
+    seq = sweep.sequential_seconds
+
+    # Clear parallel speedup at every grid by 8 processors.
+    for grid in PAPER_GRIDS:
+        assert sweep.seconds(grid, "messengers", 8) < seq / 3
+        assert sweep.seconds(grid, "pvm", 8) < seq
+
+    # Coarse-grid MESSENGERS advantage grows with processors.
+    ratio_2 = sweep.seconds(8, "pvm", 2) / sweep.seconds(
+        8, "messengers", 2
+    )
+    ratio_32 = sweep.seconds(8, "pvm", 32) / sweep.seconds(
+        8, "messengers", 32
+    )
+    assert ratio_32 > ratio_2
+    assert ratio_32 > 2.0
+
+    # At the finest grid and 2 processors the two are comparable,
+    # PVM no worse than ~10% behind (paper: PVM slightly better).
+    assert sweep.seconds(32, "pvm", 2) < 1.1 * sweep.seconds(
+        32, "messengers", 2
+    )

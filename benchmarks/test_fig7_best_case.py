@@ -1,0 +1,74 @@
+"""FIG7 — Figure 7: the case most favourable to MESSENGERS.
+
+Paper: the largest image (1280×1280) with the coarsest grid (8×8);
+"Messengers is five times faster than PVM on 32 processors" and
+"achieves an almost linear speedup on as many as 32 processors".
+
+What we reproduce (and how it differs — see EXPERIMENTS.md):
+
+* the *shape*: the MESSENGERS advantage is >1 everywhere and grows
+  monotonically with processor count; MESSENGERS scales far beyond
+  PVM's plateau;
+* the *magnitude* depends on the compute-to-overhead ratio.  At
+  1280×1280 our model's gap at 32 processors is ≈1.5× (PVM's spawn,
+  copies and wire inefficiency amortize against 115 simulated seconds
+  of compute).  The paper's full 5× is reproduced in the
+  overhead-dominated regime (320×320, same grid), which this benchmark
+  also measures.  The unmodeled remainder at 1280 is PVM's pathological
+  behaviour under 32-way bursty traffic (collision collapse,
+  retransmission storms) that a clean shared-medium model does not
+  exhibit.
+"""
+
+from conftest import full_scale
+
+from repro.bench import best_case_comparison, format_table
+
+PROCS = (1, 2, 4, 8, 16, 32)
+
+
+def _run():
+    return {
+        1280: best_case_comparison(1280, 8, PROCS),
+        320: best_case_comparison(320, 8, PROCS),
+    }
+
+
+def _show_table(show, data, image):
+    rows = data[image]["rows"]
+    show(
+        format_table(
+            ["procs", "pvm_s", "messengers_s", "pvm_speedup",
+             "messengers_speedup", "pvm/messengers"],
+            [
+                [r["procs"], r["pvm_s"], r["messengers_s"],
+                 r["pvm_speedup"], r["messengers_speedup"], r["ratio"]]
+                for r in rows
+            ],
+            title=(
+                f"Figure 7: Mandelbrot {image}x{image}, 8x8 grid "
+                f"(sequential = {data[image]['sequential_s']:.2f}s)"
+            ),
+        )
+    )
+
+
+def test_fig7_best_case(benchmark, show):
+    data = benchmark.pedantic(_run, rounds=1, iterations=1)
+    _show_table(show, data, 1280)
+    _show_table(show, data, 320)
+
+    large = {r["procs"]: r for r in data[1280]["rows"]}
+    small = {r["procs"]: r for r in data[320]["rows"]}
+
+    # The MESSENGERS advantage grows monotonically with processors.
+    ratios = [large[p]["ratio"] for p in PROCS]
+    assert all(b > a for a, b in zip(ratios, ratios[1:]))
+    assert large[32]["ratio"] > 1.3
+
+    # MESSENGERS scales well past PVM's plateau at 1280.
+    assert large[32]["messengers_speedup"] > 1.4 * large[32]["pvm_speedup"]
+    assert large[32]["messengers_speedup"] > 13
+
+    # In the overhead-dominated regime the paper's ~5x gap appears.
+    assert small[32]["ratio"] > 4.0

@@ -1,0 +1,69 @@
+"""Temporal coordination with Global Virtual Time (§2.2 + §3.2).
+
+Runs the paper's data-centric matrix multiplication: the Figure-10
+logical grid, one ``distribute_A`` and one ``rotate_B`` Messenger per
+node (Figure 11), synchronized only through virtual time — A-blocks
+move at integer ticks, multiplications happen at half ticks.
+
+The example traces each virtual-time tick so you can watch the two
+Messenger families alternate, then compares against PVM and the
+sequential baselines.
+
+Run:  python examples/matmul_virtual_time.py [n] [m]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps.matmul import (
+    DISTRIBUTE_A_SCRIPT,
+    ROTATE_B_SCRIPT,
+    make_matrices,
+    run_blocked,
+    run_messengers,
+    run_naive,
+    run_pvm,
+)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 240
+    m = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    a, b = make_matrices(n)
+    reference = a @ b
+
+    print(f"{n}x{n} matrices on an {m}x{m} processor grid "
+          f"(blocks of {n // m}x{n // m})\n")
+    print("distribute_A (wakes at integer virtual ticks):")
+    print(DISTRIBUTE_A_SCRIPT)
+    print("rotate_B (multiplies at half ticks, then shifts its block "
+          "up the column ring):")
+    print(ROTATE_B_SCRIPT)
+
+    results = {
+        "naive sequential": run_naive(a, b),
+        "blocked sequential": run_blocked(a, b, m),
+        "PVM (Figure 9)": run_pvm(a, b, m),
+        "MESSENGERS (Figure 11)": run_messengers(a, b, m),
+    }
+    for name, result in results.items():
+        assert np.allclose(result.c, reference), name
+    print("all four implementations agree with numpy's A @ B\n")
+
+    baseline = results["naive sequential"].seconds
+    print(f"{'system':<24}{'simulated seconds':>18}{'vs naive':>10}")
+    for name, result in results.items():
+        print(f"{name:<24}{result.seconds:>18.3f}"
+              f"{baseline / result.seconds:>9.2f}x")
+
+    messengers = results["MESSENGERS (Figure 11)"]
+    print()
+    print(f"virtual time advanced through {messengers.gvt_rounds} "
+          "conservative GVT rounds")
+    print(f"{messengers.hops_remote} block-carrying hops crossed the "
+          "network (zero marshalling copies)")
+
+
+if __name__ == "__main__":
+    main()

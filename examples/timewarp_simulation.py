@@ -1,0 +1,80 @@
+"""Conservative versus optimistic virtual time (§2.2).
+
+The paper: "MESSENGERS supports both a conservative and an optimistic
+approach … the choice between the different implementation strategies
+generally depends on the type of applications."
+
+This example runs the same three logical-process workloads on both
+standalone kernels (:mod:`repro.gvt`), verifies that the final states
+are identical — rollback and anti-messengers preserve causality — and
+shows where each strategy wins.
+
+Run:  python examples/timewarp_simulation.py
+"""
+
+from repro.des import Simulator
+from repro.gvt import (
+    ConservativeKernel,
+    TimeWarpKernel,
+    phold,
+    pipeline,
+    skewed_load,
+)
+
+WORKLOADS = [
+    ("pipeline (perfect lookahead)",
+     lambda: pipeline(stages=6, items=25)),
+    ("skewed load (one slow LP)",
+     lambda: skewed_load(n_lps=6, rounds=15, slow_factor=25)),
+    ("PHOLD (dense cross-traffic)",
+     lambda: phold(n_lps=5, population=12, hops=30, seed=7)),
+]
+
+
+def canonical(states):
+    out = {}
+    for name, state in states.items():
+        fixed = dict(state)
+        if "jobs_seen" in fixed:
+            fixed["jobs_seen"] = sorted(fixed["jobs_seen"])
+        out[name] = fixed
+    return out
+
+
+def main() -> None:
+    print(f"{'workload':<32}{'conservative':>14}{'time warp':>12}"
+          f"{'rollbacks':>11}{'efficiency':>12}")
+    for label, build in WORKLOADS:
+        specs, initial = build()
+        kernel_c = ConservativeKernel(Simulator(), specs)
+        for event in initial:
+            kernel_c.post(event)
+        stats_c = kernel_c.run()
+        states_c = canonical({s.name: dict(s.state) for s in specs})
+
+        specs, initial = build()
+        kernel_o = TimeWarpKernel(Simulator(), specs, gvt_interval_s=0.01)
+        for event in initial:
+            kernel_o.post(event)
+        stats_o = kernel_o.run()
+        states_o = canonical(
+            {s.name: dict(kernel_o.state_of(s.name)) for s in specs}
+        )
+
+        assert states_c == states_o, f"{label}: engines disagree!"
+        print(f"{label:<32}{stats_c.wallclock_s:>13.4f}s"
+              f"{stats_o.wallclock_s:>11.4f}s"
+              f"{stats_o.rollbacks:>11d}"
+              f"{stats_o.efficiency:>11.0%}")
+
+    print()
+    print("Both engines committed identical final states on every "
+          "workload:")
+    print("Time Warp's straggler rollbacks and anti-messengers preserve "
+          "exactly the event order")
+    print("the conservative engine enforces up front — at very "
+          "different synchronization costs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — a full reproduction of "Messages versus Messengers in
+Distributed Programming" (Fukuda, Bic, Dillencourt, Cahill; ICDCS 1997).
+
+Subpackages
+-----------
+``repro.des``
+    Deterministic discrete-event simulation kernel.
+``repro.netsim``
+    The physical substrate: hosts (cache-aware CPU model) on a shared
+    Ethernet, plus the :class:`~repro.netsim.costs.CostModel` every
+    virtual-time charge comes from.
+``repro.mp``
+    The message-passing baseline: a PVM 3.3 workalike.
+``repro.messengers``
+    The paper's contribution: daemons, logical networks, navigational
+    statements, the MCL script language (``repro.messengers.mcl``),
+    non-preemptive scheduling, conservative GVT, the net_builder
+    service, shell, and tracing.
+``repro.gvt``
+    Standalone conservative and Time-Warp virtual-time kernels.
+``repro.apps``
+    The evaluation applications (Mandelbrot, matrix multiplication) in
+    sequential / message-passing / MESSENGERS form, plus the swarm
+    extension.
+``repro.bench``
+    Sweep drivers and reporting for regenerating every paper artifact.
+
+See README.md for a tour, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for paper-versus-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

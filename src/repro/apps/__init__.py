@@ -1,0 +1,8 @@
+"""The paper's two evaluation applications (§3), each programmed three
+ways: sequential, message-passing (PVM workalike), and MESSENGERS.
+
+* :mod:`repro.apps.mandelbrot` — manager/worker Mandelbrot (§3.1,
+  Figures 2–7);
+* :mod:`repro.apps.matmul` — block matrix multiplication with
+  virtual-time coordination (§3.2, Figures 9–12).
+"""

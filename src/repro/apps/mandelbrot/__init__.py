@@ -1,0 +1,47 @@
+"""Mandelbrot-set generation via manager/worker (§3.1).
+
+Three implementations over one kernel:
+
+* :func:`run_sequential` — the sequential-C baseline;
+* :func:`run_pvm` — Figure 2's manager/worker in message passing;
+* :func:`run_messengers` — Figure 3's single "smart worker" script.
+
+All three produce pixel-identical images; they differ in simulated
+execution time, which is what Figures 4–7 plot.
+"""
+
+from .kernel import (
+    BYTES_PER_PIXEL,
+    Block,
+    FLOPS_PER_ITERATION,
+    PAPER_COLORS,
+    PAPER_REGION,
+    TaskGrid,
+    block_flops,
+    compute_block,
+)
+from .messengers_app import (
+    MANAGER_WORKER_SCRIPT,
+    MessengersMandelbrotResult,
+    run_messengers,
+)
+from .pvm_app import PvmMandelbrotResult, run_pvm
+from .sequential import SequentialResult, run_sequential
+
+__all__ = [
+    "BYTES_PER_PIXEL",
+    "Block",
+    "FLOPS_PER_ITERATION",
+    "MANAGER_WORKER_SCRIPT",
+    "MessengersMandelbrotResult",
+    "PAPER_COLORS",
+    "PAPER_REGION",
+    "PvmMandelbrotResult",
+    "SequentialResult",
+    "TaskGrid",
+    "block_flops",
+    "compute_block",
+    "run_messengers",
+    "run_pvm",
+    "run_sequential",
+]

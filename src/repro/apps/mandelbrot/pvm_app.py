@@ -1,0 +1,126 @@
+"""Mandelbrot via message-passing manager/worker — Figure 2 of the paper.
+
+A faithful transcription of the paper's PVM pseudo-code onto
+:mod:`repro.mp`, including the details Figure 2 "abstracted away for
+clarity" but a real PVM program must pay for: spawning the workers,
+packing/unpacking every task and result buffer, and the final
+collect-and-kill loop.
+
+The manager runs on ``host0``; worker ``w`` runs on ``host{w+1}`` — so a
+run with *P processors* (the x-axis of Figures 4–6) uses ``P`` worker
+hosts plus the manager host, symmetrically with the MESSENGERS version
+whose central node lives on a daemon of its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...des import Simulator
+from ...mp import ANY, MessagePassingSystem, PackBuffer
+from ...netsim import CostModel, DEFAULT_COSTS, build_lan
+from .kernel import TaskGrid, block_flops, compute_block
+
+__all__ = ["PvmMandelbrotResult", "run_pvm"]
+
+_TAG_TASK = 1
+_TAG_RESULT = 2
+
+
+@dataclass
+class PvmMandelbrotResult:
+    image: "np.ndarray"
+    seconds: float  # simulated wall-clock of the whole job
+    n_workers: int
+    messages: int = 0
+    stats: dict = field(default_factory=dict)
+
+
+def _worker(ctx, grid: TaskGrid):
+    """Figure 2, worker_func: recv task, compute, send result, repeat."""
+    while True:
+        message = yield from ctx.recv(src=ctx.parent, tag=_TAG_TASK)
+        block_index = message.buffer.unpack_ints()[0]
+        block = grid.block(block_index)
+        colors, iterations = compute_block(grid, block)
+        yield from ctx.compute(block_flops(iterations))
+        reply = PackBuffer()
+        reply.pack_int(block_index)
+        reply.pack_array(colors)  # int16: 2 bytes/pixel on the wire
+        yield from ctx.send(ctx.parent, reply, tag=_TAG_RESULT)
+
+
+def _manager(ctx, grid: TaskGrid, n_workers: int, results: dict):
+    """Figure 2, manager(): spawn, pump tasks, collect, kill."""
+    worker_hosts = [f"host{w + 1}" for w in range(n_workers)]
+    workers = yield from ctx.spawn(
+        _worker, grid, count=n_workers, hosts=worker_hosts
+    )
+
+    tasks = iter(range(len(grid)))
+
+    def next_task():
+        return next(tasks, None)
+
+    def task_buffer(block_index):
+        buf = PackBuffer()
+        buf.pack_ints(
+            [block_index, 0, 0, 0, 0]  # index + geometry, 40 bytes
+        )
+        return buf
+
+    # Prime every worker with one task (lines 4-5).
+    outstanding = 0
+    for worker in workers:
+        block_index = next_task()
+        if block_index is None:
+            break
+        yield from ctx.send(worker, task_buffer(block_index), tag=_TAG_TASK)
+        outstanding += 1
+
+    # Main pump (lines 6-10): receive a result, hand out the next task.
+    while True:
+        block_index = next_task()
+        if block_index is None:
+            break
+        message = yield from ctx.recv(src=ANY, tag=_TAG_RESULT)
+        done_index = message.buffer.unpack_int()
+        results[done_index] = message.buffer.unpack_array()
+        yield from ctx.send(
+            message.src, task_buffer(block_index), tag=_TAG_TASK
+        )
+
+    # Drain the last results and kill the workers (lines 11-15).
+    for _ in range(outstanding):
+        message = yield from ctx.recv(src=ANY, tag=_TAG_RESULT)
+        done_index = message.buffer.unpack_int()
+        results[done_index] = message.buffer.unpack_array()
+    for worker in workers:
+        ctx.kill(worker)
+    ctx.exit()
+
+
+def run_pvm(
+    grid: TaskGrid,
+    n_workers: int,
+    costs: CostModel = DEFAULT_COSTS,
+) -> PvmMandelbrotResult:
+    """Run the Figure-2 program; returns image + simulated seconds."""
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    sim = Simulator()
+    network = build_lan(sim, n_workers + 1, costs)  # host0 = manager
+    system = MessagePassingSystem(network)
+    results: dict[int, np.ndarray] = {}
+    manager_tid = system.spawn(_manager, grid, n_workers, results)
+    system.run_until_task(manager_tid)
+    elapsed = sim.now
+    sim.run()  # let worker-kill interrupts settle
+    return PvmMandelbrotResult(
+        image=grid.assemble(results),
+        seconds=elapsed,
+        n_workers=n_workers,
+        messages=network.delivered,
+    )

@@ -1,0 +1,55 @@
+"""Benchmark harness: sweep drivers, reporting, and shape assertions.
+
+One driver per paper artifact (see DESIGN.md §5 for the experiment
+index); ``benchmarks/`` wires these into pytest-benchmark targets that
+print the regenerated tables/figures and assert the paper's qualitative
+claims.
+"""
+
+from .mandelbrot_experiments import (
+    MandelbrotSweep,
+    PAPER_GRIDS,
+    PAPER_PROCESSOR_COUNTS,
+    best_case_comparison,
+    run_figure,
+)
+from .matmul_experiments import (
+    FIG12A_CPU_SCALE,
+    FIG12B_CPU_SCALE,
+    MatmulSweep,
+    PAPER_BLOCK_SIZES_2X2,
+    PAPER_BLOCK_SIZES_3X3,
+    blocking_speedup_model,
+    run_block_size_sweep,
+)
+from .reporting import Figure, Series, ascii_chart, format_table
+from .shapes import (
+    ShapeViolation,
+    assert_faster_beyond,
+    assert_roughly_monotone,
+    assert_speedup_at_least,
+    crossover_interval,
+)
+
+__all__ = [
+    "FIG12A_CPU_SCALE",
+    "FIG12B_CPU_SCALE",
+    "Figure",
+    "MandelbrotSweep",
+    "MatmulSweep",
+    "PAPER_BLOCK_SIZES_2X2",
+    "PAPER_BLOCK_SIZES_3X3",
+    "PAPER_GRIDS",
+    "PAPER_PROCESSOR_COUNTS",
+    "Series",
+    "ShapeViolation",
+    "ascii_chart",
+    "assert_faster_beyond",
+    "assert_roughly_monotone",
+    "assert_speedup_at_least",
+    "best_case_comparison",
+    "blocking_speedup_model",
+    "crossover_interval",
+    "format_table",
+    "run_figure",
+]

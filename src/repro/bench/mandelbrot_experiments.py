@@ -1,0 +1,132 @@
+"""Experiment drivers for the Mandelbrot figures (Figures 4–7).
+
+Each paper figure fixes an image resolution and plots execution time
+against processor count for three grid decompositions (8×8, 16×16,
+32×32) and three systems (MESSENGERS, PVM, sequential C).  The drivers
+here run those sweeps on the simulated cluster and return
+:class:`~repro.bench.reporting.Figure` data.
+
+By default the sweeps use the paper's exact parameters.  Because the
+kernel memoizes block results, the numpy work per resolution is done
+once; additional (grid, procs, system) points cost only simulation
+time.  ``scale`` lets tests and quick runs shrink the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..apps.mandelbrot import (
+    TaskGrid,
+    run_messengers,
+    run_pvm,
+    run_sequential,
+)
+from ..netsim import CostModel, DEFAULT_COSTS
+from .reporting import Figure
+
+__all__ = [
+    "PAPER_PROCESSOR_COUNTS",
+    "PAPER_GRIDS",
+    "MandelbrotSweep",
+    "run_figure",
+    "best_case_comparison",
+]
+
+#: The paper varies "the number of processors from 1 to 32".
+PAPER_PROCESSOR_COUNTS = (1, 2, 4, 8, 16, 32)
+#: "Each image was divided into grids of 8x8, 16x16, and 32x32 blocks."
+PAPER_GRIDS = (8, 16, 32)
+
+
+@dataclass
+class MandelbrotSweep:
+    """Raw results of one figure's sweep."""
+
+    image_size: int
+    sequential_seconds: float
+    #: (grid, system) -> {procs: seconds}; system in {"messengers", "pvm"}
+    curves: dict = field(default_factory=dict)
+
+    def seconds(self, grid: int, system: str, procs: int) -> float:
+        return self.curves[(grid, system)][procs]
+
+    def as_figure(self) -> Figure:
+        figure = Figure(
+            title=(
+                f"Mandelbrot {self.image_size}x{self.image_size} "
+                "(execution time, simulated seconds)"
+            ),
+            x_label="processors",
+            y_label="seconds",
+        )
+        for (grid, system), points in sorted(self.curves.items()):
+            series = figure.new_series(f"{system}-{grid}x{grid}")
+            for procs, seconds in sorted(points.items()):
+                series.add(procs, seconds)
+        seq = figure.new_series("sequential-C")
+        xs = sorted({p for c in self.curves.values() for p in c})
+        for procs in xs:
+            seq.add(procs, self.sequential_seconds)
+        return figure
+
+
+def run_figure(
+    image_size: int,
+    grids: Sequence[int] = PAPER_GRIDS,
+    processor_counts: Sequence[int] = PAPER_PROCESSOR_COUNTS,
+    costs: CostModel = DEFAULT_COSTS,
+) -> MandelbrotSweep:
+    """Run one of Figures 4/5/6 (320/640/1280 image size)."""
+    sequential = run_sequential(TaskGrid(image_size, grids[0]), costs)
+    sweep = MandelbrotSweep(
+        image_size=image_size,
+        sequential_seconds=sequential.seconds,
+    )
+    for grid_size in grids:
+        grid = TaskGrid(image_size, grid_size)
+        pvm_curve: dict = {}
+        msgr_curve: dict = {}
+        for procs in processor_counts:
+            pvm_curve[procs] = run_pvm(grid, procs, costs).seconds
+            msgr_curve[procs] = run_messengers(grid, procs, costs).seconds
+        sweep.curves[(grid_size, "pvm")] = pvm_curve
+        sweep.curves[(grid_size, "messengers")] = msgr_curve
+    return sweep
+
+
+def best_case_comparison(
+    image_size: int = 1280,
+    grid_size: int = 8,
+    processor_counts: Sequence[int] = PAPER_PROCESSOR_COUNTS,
+    costs: CostModel = DEFAULT_COSTS,
+) -> dict:
+    """Figure 7: the case most favourable to MESSENGERS.
+
+    Returns per-processor-count times and speedups over sequential for
+    both systems (the paper reports MESSENGERS ≈5× faster than PVM at
+    32 processors, with near-linear speedup).
+    """
+    grid = TaskGrid(image_size, grid_size)
+    sequential = run_sequential(grid, costs).seconds
+    rows = []
+    for procs in processor_counts:
+        pvm = run_pvm(grid, procs, costs).seconds
+        msgr = run_messengers(grid, procs, costs).seconds
+        rows.append(
+            {
+                "procs": procs,
+                "pvm_s": pvm,
+                "messengers_s": msgr,
+                "pvm_speedup": sequential / pvm,
+                "messengers_speedup": sequential / msgr,
+                "ratio": pvm / msgr,
+            }
+        )
+    return {
+        "image_size": image_size,
+        "grid": grid_size,
+        "sequential_s": sequential,
+        "rows": rows,
+    }

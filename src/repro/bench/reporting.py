@@ -1,0 +1,153 @@
+"""Tabular and series reporting for the benchmark harness.
+
+Every benchmark regenerates a paper table or figure as text: a table of
+rows (one per parameter point) plus, for figures, an ASCII rendering of
+the series.  Benchmarks print these so ``pytest benchmarks/
+--benchmark-only -s`` reproduces the paper's artifacts in the log, and
+EXPERIMENTS.md records them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = ["Series", "Figure", "format_table", "ascii_chart"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a fixed-width text table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in cells))
+        if cells
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(value.rjust(w) for value, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+@dataclass
+class Series:
+    """One curve of a figure."""
+
+    name: str
+    xs: list = field(default_factory=list)
+    ys: list = field(default_factory=list)
+
+    def add(self, x, y) -> None:
+        self.xs.append(x)
+        self.ys.append(y)
+
+    def y_at(self, x):
+        """The y value at a given x (exact match)."""
+        return self.ys[self.xs.index(x)]
+
+
+@dataclass
+class Figure:
+    """A named collection of series over a shared x axis."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: list = field(default_factory=list)
+
+    def new_series(self, name: str) -> Series:
+        s = Series(name)
+        self.series.append(s)
+        return s
+
+    def as_table(self) -> str:
+        """All series tabulated against the union of x values."""
+        xs = sorted({x for s in self.series for x in s.xs})
+        headers = [self.x_label] + [s.name for s in self.series]
+        rows = []
+        for x in xs:
+            row = [x]
+            for s in self.series:
+                row.append(s.y_at(x) if x in s.xs else "")
+            rows.append(row)
+        return format_table(headers, rows, title=self.title)
+
+    def render(self, width: int = 60, height: int = 16) -> str:
+        """Table plus an ASCII chart of every series."""
+        return (
+            self.as_table()
+            + "\n\n"
+            + ascii_chart(self.series, width=width, height=height,
+                          y_label=self.y_label)
+        )
+
+
+def ascii_chart(
+    series: Sequence[Series],
+    width: int = 60,
+    height: int = 16,
+    y_label: str = "",
+) -> str:
+    """Plot series as ASCII art (log-free, linear axes).
+
+    Each series gets a marker letter (a, b, c, …); a legend follows.
+    """
+    points = [
+        (x, y) for s in series for x, y in zip(s.xs, s.ys)
+    ]
+    if not points:
+        return "(empty chart)"
+    x_lo = min(p[0] for p in points)
+    x_hi = max(p[0] for p in points)
+    y_lo = min(p[1] for p in points)
+    y_hi = max(p[1] for p in points)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, s in enumerate(series):
+        marker = chr(ord("a") + index % 26)
+        for x, y in zip(s.xs, s.ys):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            canvas[row][col] = marker
+
+    lines = [f"{y_hi:10.3f} |" + "".join(canvas[0])]
+    for row in canvas[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y_lo:10.3f} |" + "".join(canvas[-1]))
+    lines.append(
+        " " * 12 + f"{x_lo:<10g}" + " " * max(0, width - 20) + f"{x_hi:>10g}"
+    )
+    legend = "   ".join(
+        f"{chr(ord('a') + i % 26)}={s.name}" for i, s in enumerate(series)
+    )
+    if y_label:
+        legend = f"y: {y_label}   " + legend
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Shape assertions for benchmark results.
+
+We reproduce the paper's *shapes* — who wins, by roughly what factor,
+where crossovers fall — not its absolute SPARCstation numbers.  These
+helpers express those claims as checkable predicates; benchmarks assert
+them, and EXPERIMENTS.md records measured-vs-paper values.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = [
+    "ShapeViolation",
+    "crossover_interval",
+    "assert_faster_beyond",
+    "assert_speedup_at_least",
+    "assert_roughly_monotone",
+]
+
+
+class ShapeViolation(AssertionError):
+    """A reproduced curve does not match the paper's qualitative claim."""
+
+
+def crossover_interval(
+    xs: Sequence[float],
+    a_ys: Sequence[float],
+    b_ys: Sequence[float],
+) -> Optional[tuple]:
+    """Where series *a* stops being cheaper than series *b*.
+
+    Returns ``(x_before, x_after)`` bracketing the first sign change of
+    ``a - b``, or ``None`` if one series dominates throughout.
+    """
+    if not (len(xs) == len(a_ys) == len(b_ys)):
+        raise ValueError("mismatched series lengths")
+    signs = [a - b for a, b in zip(a_ys, b_ys)]
+    for left in range(len(signs) - 1):
+        if signs[left] == 0:
+            return (xs[left], xs[left])
+        if (signs[left] > 0) != (signs[left + 1] > 0):
+            return (xs[left], xs[left + 1])
+    return None
+
+
+def assert_faster_beyond(
+    xs: Sequence[float],
+    fast_ys: Sequence[float],
+    slow_ys: Sequence[float],
+    threshold_x: float,
+    tolerance: float = 1.05,
+    label: str = "",
+) -> None:
+    """Assert ``fast`` ≤ ``slow`` × tolerance at every x ≥ threshold."""
+    for x, fast, slow in zip(xs, fast_ys, slow_ys):
+        if x >= threshold_x and fast > slow * tolerance:
+            raise ShapeViolation(
+                f"{label or 'series'}: expected faster beyond "
+                f"x={threshold_x}, but at x={x} got {fast:.4f} vs "
+                f"{slow:.4f} (tolerance {tolerance})"
+            )
+
+
+def assert_speedup_at_least(
+    baseline: float, measured: float, factor: float, label: str = ""
+) -> None:
+    """Assert ``baseline / measured`` ≥ factor."""
+    speedup = baseline / measured
+    if speedup < factor:
+        raise ShapeViolation(
+            f"{label or 'speedup'}: expected >= {factor}x, got "
+            f"{speedup:.2f}x ({baseline:.4f}s / {measured:.4f}s)"
+        )
+
+
+def assert_roughly_monotone(
+    values: Sequence[float],
+    decreasing: bool = True,
+    slack: float = 1.10,
+    label: str = "",
+) -> None:
+    """Assert a series trends one way, allowing ``slack`` local noise.
+
+    Used for scaling curves (adding processors keeps helping) where
+    strict monotonicity would be brittle.
+    """
+    best = values[0]
+    for index, value in enumerate(values[1:], start=1):
+        if decreasing:
+            if value > best * slack:
+                raise ShapeViolation(
+                    f"{label or 'series'} not decreasing at index "
+                    f"{index}: {value:.4f} after best {best:.4f}"
+                )
+            best = min(best, value)
+        else:
+            if value < best / slack:
+                raise ShapeViolation(
+                    f"{label or 'series'} not increasing at index "
+                    f"{index}: {value:.4f} after best {best:.4f}"
+                )
+            best = max(best, value)

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``shell [--hosts N]``
+    Start an interactive MESSENGERS shell on a fresh simulated LAN.
+``run SCRIPT.mcl [args ...] [--hosts N]``
+    Inject an MCL script file and run to quiescence (prints logs,
+    statistics and the final logical network).
+``figure {4,5,6,7,12a,12b}``
+    Regenerate one paper figure and print its table + ASCII chart.
+``info``
+    Version, package inventory and cost-model summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import fields
+
+__all__ = ["main"]
+
+
+def _build_system(n_hosts: int):
+    from .des import Simulator
+    from .messengers import MessengersSystem
+    from .netsim import build_lan
+
+    sim = Simulator()
+    return MessengersSystem(build_lan(sim, n_hosts))
+
+
+def _cmd_shell(args) -> int:
+    from .messengers import Shell
+
+    system = _build_system(args.hosts)
+    shell = Shell(system)
+    print(
+        f"MESSENGERS shell — {args.hosts} daemons on one simulated "
+        "Ethernet.  Type 'help'; 'quit' exits."
+    )
+    shell.repl()
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from pathlib import Path
+
+    from .messengers import Shell
+
+    path = Path(args.script)
+    if not path.exists():
+        print(f"error: no such script: {path}", file=sys.stderr)
+        return 2
+    system = _build_system(args.hosts)
+    shell = Shell(system)
+    command = f"inject {path} " + " ".join(args.args)
+    print(shell.execute(command.strip()))
+    print(shell.execute("run"))
+    for line in system.log_lines:
+        print("log:", line)
+    print(shell.execute("stats"))
+    print(shell.execute("nodes"))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from . import bench
+
+    name = args.which.lower()
+    if name in ("4", "5", "6"):
+        image = {"4": 320, "5": 640, "6": 1280}[name]
+        processor_counts = (1, 2, 4, 8, 16, 32) if args.full else (1, 2, 8, 32)
+        sweep = bench.run_figure(
+            image, processor_counts=processor_counts
+        )
+        print(sweep.as_figure().render())
+    elif name == "7":
+        data = bench.best_case_comparison(1280, 8)
+        print(
+            bench.format_table(
+                ["procs", "pvm_s", "messengers_s", "ratio"],
+                [
+                    [r["procs"], r["pvm_s"], r["messengers_s"], r["ratio"]]
+                    for r in data["rows"]
+                ],
+                title=(
+                    "Figure 7 (sequential = "
+                    f"{data['sequential_s']:.2f}s)"
+                ),
+            )
+        )
+    elif name in ("12a", "12b"):
+        if name == "12a":
+            sweep = bench.run_block_size_sweep(
+                2,
+                bench.PAPER_BLOCK_SIZES_2X2 if args.full
+                else (25, 50, 100, 200),
+                cpu_scale=bench.FIG12A_CPU_SCALE,
+            )
+        else:
+            sweep = bench.run_block_size_sweep(
+                3,
+                bench.PAPER_BLOCK_SIZES_3X3 if args.full
+                else (10, 20, 50, 100),
+                cpu_scale=bench.FIG12B_CPU_SCALE,
+            )
+        print(sweep.as_figure().render())
+    else:
+        print(f"error: unknown figure {args.which!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_info(args) -> int:
+    import repro
+    from .netsim import DEFAULT_COSTS
+
+    print(f"repro {repro.__version__} — reproduction of "
+          "'Messages versus Messengers in Distributed Programming'")
+    print()
+    print("packages: des netsim mp messengers(+mcl) gvt apps bench")
+    print()
+    print("cost model (virtual-time charges):")
+    for field_info in fields(DEFAULT_COSTS):
+        value = getattr(DEFAULT_COSTS, field_info.name)
+        if isinstance(value, float):
+            print(f"  {field_info.name:<28} {value:g}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    shell = sub.add_parser("shell", help="interactive MESSENGERS shell")
+    shell.add_argument("--hosts", type=int, default=4)
+    shell.set_defaults(func=_cmd_shell)
+
+    run = sub.add_parser("run", help="inject an MCL script file and run")
+    run.add_argument("script")
+    run.add_argument("args", nargs="*")
+    run.add_argument("--hosts", type=int, default=4)
+    run.set_defaults(func=_cmd_run)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("which", choices=["4", "5", "6", "7", "12a", "12b"])
+    figure.add_argument("--full", action="store_true",
+                        help="paper-scale parameter ranges")
+    figure.set_defaults(func=_cmd_figure)
+
+    info = sub.add_parser("info", help="version and cost model")
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,43 @@
+"""Discrete-event simulation kernel.
+
+Public surface:
+
+* :class:`Simulator` — clock + event queue;
+* :class:`Event`, :class:`Timeout`, :class:`AnyOf`, :class:`AllOf`;
+* :class:`Process` (usually created via :meth:`Simulator.process`);
+* :class:`Resource`, :class:`Store`, :class:`PriorityStore`,
+  :class:`FilterStore`;
+* :class:`Interrupt`, :class:`SimulationError` exceptions;
+* :class:`RngRegistry` — deterministic named RNG streams.
+"""
+
+from .core import AllOf, AnyOf, Event, Simulator, Timeout
+from .errors import (
+    EventAlreadyTriggered,
+    Interrupt,
+    ProcessDead,
+    SimulationError,
+    StopSimulation,
+)
+from .process import Process
+from .resources import FilterStore, PriorityStore, Resource, Store
+from .rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "EventAlreadyTriggered",
+    "FilterStore",
+    "Interrupt",
+    "PriorityStore",
+    "Process",
+    "ProcessDead",
+    "Resource",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+]

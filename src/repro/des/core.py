@@ -1,0 +1,369 @@
+"""Core of the discrete-event simulation kernel.
+
+The kernel is a small, self-contained, SimPy-flavoured engine:
+
+* a :class:`Simulator` owns a virtual clock and a binary-heap event queue;
+* an :class:`Event` is a one-shot occurrence that callbacks can wait on;
+* a :class:`~repro.des.process.Process` wraps a Python generator that
+  ``yield``\\ s events to wait for them.
+
+Everything in this repository — the Ethernet model, the PVM workalike, the
+MESSENGERS daemons, global virtual time — is built as processes and events
+on top of this module.  All "performance" numbers reported by benchmarks
+are values of the simulated clock, which makes every experiment
+deterministic and hardware-independent.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterable, Optional
+
+from .errors import EventAlreadyTriggered, SimulationError, StopSimulation
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Simulator",
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Sentinel for an event value that has not been set yet.
+PENDING = object()
+
+#: Scheduling priority for events that must fire before same-time events.
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event starts *pending*, becomes *triggered* when it is scheduled
+    with a value (via :meth:`succeed` or :meth:`fail`), and is *processed*
+    once the simulator has invoked its callbacks.  Processes wait on an
+    event by ``yield``-ing it.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        #: If a failed event's exception is never retrieved, the simulator
+        #: re-raises it at the end of the step ("errors never pass
+        #: silently").  Waiting on the event defuses it.
+        self._defused = False
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled to fire."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event is in the past)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with.
+
+        For failed events this is the exception instance.
+        """
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has no value yet")
+        return self._value
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so its error is not re-raised."""
+        self._defused = True
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``.
+
+        Returns the event itself so that ``return event.succeed()`` chains.
+        """
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``.
+
+        Any process waiting on the event will have the exception thrown
+        into it.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.sim.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (for chaining)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    # -- composition -------------------------------------------------------
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.sim, [self, other])
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.sim, [self, other])
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Condition(Event):
+    """Waits for a boolean combination of sub-events.
+
+    The value of a condition is a dict mapping each *triggered* sub-event
+    to its value, in triggering order.
+    """
+
+    def __init__(self, sim: "Simulator", evaluate, events: Iterable[Event]):
+        super().__init__(sim)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.sim is not sim:
+                raise SimulationError("events belong to different simulators")
+
+        if not self._events:
+            self.succeed(self._collect_values())
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> dict:
+        return {e: e._value for e in self._events if e.triggered}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+
+class AnyOf(Condition):
+    """Fires when any one of the sub-events fires."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, lambda events, count: count >= 1, events)
+
+
+class AllOf(Condition):
+    """Fires when all of the sub-events have fired."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(
+            sim, lambda events, count: count == len(events), events
+        )
+
+
+class Simulator:
+    """Owner of the virtual clock and the event queue.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(5)
+            print("t =", sim.now)
+
+        sim.process(proc(sim))
+        sim.run()
+    """
+
+    def __init__(self):
+        self._now: float = 0.0
+        self._queue: list = []
+        self._eid = itertools.count()
+        self._active_process = None
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The process whose generator is currently executing, if any."""
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> "Process":
+        """Start a new process running ``generator``."""
+        from .process import Process
+
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = NORMAL
+    ) -> None:
+        """Insert a triggered event into the queue ``delay`` from now."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises :class:`IndexError` ("empty schedule") if nothing is queued.
+        """
+        time, _prio, _eid, event = heapq.heappop(self._queue)
+        self._now = time
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            # Unhandled failure: surface it rather than losing it.
+            raise exc
+
+    def stop(self, value: Any = None) -> None:
+        """Stop the current :meth:`run` immediately."""
+        raise StopSimulation(value)
+
+    def run(self, until: Any = None) -> Any:
+        """Run until the queue drains, ``until`` time passes, or an event.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event is processed, returning
+          its value (or raising its exception).
+        """
+        stop_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    # Already processed: return/raise its outcome at once.
+                    if stop_event._ok:
+                        return stop_event._value
+                    raise stop_event._value
+                stop_event.callbacks.append(self._stop_callback)
+            else:
+                deadline = float(until)
+                if deadline < self._now:
+                    raise ValueError(
+                        f"until={deadline} is in the past (now={self._now})"
+                    )
+                stop_event = Event(self)
+                stop_event._ok = True
+                stop_event._value = None
+                stop_event.callbacks.append(self._stop_callback)
+                heapq.heappush(
+                    self._queue, (deadline, URGENT, next(self._eid), stop_event)
+                )
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as stop:
+            if isinstance(until, Event):
+                if until._ok:
+                    return until._value
+                until.defuse()
+                raise until._value
+            return stop.value
+
+        if isinstance(until, Event) and not until.triggered:
+            raise SimulationError(
+                "run(until=event) finished but the event never triggered"
+            )
+        return None
+
+    def _stop_callback(self, event: Event) -> None:
+        raise StopSimulation(event._value if event._ok else None)
+
+    def __repr__(self) -> str:
+        return f"<Simulator now={self._now} queued={len(self._queue)}>"

@@ -1,0 +1,45 @@
+"""Exception types for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`repro.des.core.Simulator.run`.
+
+    Users normally stop a simulation by passing ``until=`` to ``run`` or by
+    letting the event queue drain; this exception supports explicit,
+    immediate termination via :meth:`Simulator.stop`.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The interrupting party may attach a ``cause`` describing why the
+    interrupt happened.  The interrupted process may catch this exception
+    and continue, mirroring the semantics of SimPy interrupts.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+
+    @property
+    def cause(self):
+        """The cause object passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class EventAlreadyTriggered(SimulationError):
+    """An event was succeeded or failed more than once."""
+
+
+class ProcessDead(SimulationError):
+    """An operation targeted a process that has already terminated."""

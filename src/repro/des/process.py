@@ -1,0 +1,136 @@
+"""Coroutine processes for the simulation kernel.
+
+A process wraps a Python generator.  The generator ``yield``\\ s
+:class:`~repro.des.core.Event` objects; the process resumes when the event
+fires, receiving the event's value as the result of the ``yield``
+expression (or having the event's exception thrown into it).
+"""
+
+from __future__ import annotations
+
+from types import GeneratorType
+from typing import Any, Optional
+
+from .core import Event, NORMAL, URGENT
+from .errors import Interrupt, ProcessDead, SimulationError
+
+__all__ = ["Process", "Initialize"]
+
+
+class Initialize(Event):
+    """Internal event that kicks off a newly created process."""
+
+    def __init__(self, sim, process: "Process"):
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self.callbacks = [process._resume]
+        sim.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """An executing generator.  The process is itself an event that fires
+    with the generator's return value when the generator finishes — so one
+    process can wait for another simply by yielding it.
+    """
+
+    def __init__(self, sim, generator):
+        if not isinstance(generator, GeneratorType):
+            raise TypeError(
+                f"process() needs a generator, got {generator!r}; "
+                "did you forget to call the generator function?"
+            )
+        super().__init__(sim)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(sim, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def name(self) -> str:
+        return self._generator.__name__
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`~repro.des.errors.Interrupt` into the process.
+
+        The interrupt is delivered as an urgent event so it preempts
+        whatever the process was waiting for.  Interrupting a finished
+        process raises :class:`ProcessDead`.
+        """
+        if self.triggered:
+            raise ProcessDead(f"{self!r} has terminated; cannot interrupt")
+        if self.sim.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+
+        interrupt_event = Event(self.sim)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks = [self._resume_interrupt]
+        self.sim.schedule(interrupt_event, priority=URGENT)
+
+    # -- internal ------------------------------------------------------------
+
+    def _resume_interrupt(self, event: Event) -> None:
+        if self.triggered:
+            return  # process died before interrupt delivery; drop it
+        # Detach from whatever we were waiting on.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        self.sim._active_process = self
+        try:
+            while True:
+                try:
+                    if event is None or event._ok:
+                        next_target = self._generator.send(
+                            None if event is None else event._value
+                        )
+                    else:
+                        event.defuse()
+                        next_target = self._generator.throw(event._value)
+                except StopIteration as stop:
+                    self._target = None
+                    self.succeed(stop.value)
+                    return
+                except BaseException as error:
+                    self._target = None
+                    self.fail(error)
+                    return
+
+                if not isinstance(next_target, Event):
+                    # Tell the generator it misbehaved; let it clean up.
+                    event = Event(self.sim)
+                    event._ok = False
+                    event._value = SimulationError(
+                        f"process {self.name!r} yielded a non-event: "
+                        f"{next_target!r}"
+                    )
+                    continue
+
+                if next_target.callbacks is not None:
+                    # Not yet processed: park until it fires.
+                    next_target.callbacks.append(self._resume)
+                    self._target = next_target
+                    return
+                # Already processed: loop and deliver immediately.
+                event = next_target
+        finally:
+            self.sim._active_process = None
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} at {id(self):#x}>"

@@ -1,0 +1,245 @@
+"""Shared resources for simulation processes.
+
+Three primitives cover everything the upper layers need:
+
+* :class:`Resource` — a counted semaphore (e.g. a CPU, a bus);
+* :class:`Store` — an unbounded-or-bounded FIFO of Python objects
+  (e.g. a daemon's inbox, a PVM message queue);
+* :class:`PriorityStore` — a store that releases the smallest item first
+  (used for virtual-time event queues).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Optional
+
+from .core import Event, Simulator
+from .errors import SimulationError
+
+__all__ = ["Resource", "Store", "PriorityStore", "FilterStore"]
+
+
+class _Request(Event):
+    """Pending acquisition of a resource slot."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+        resource._do_request(self)
+
+    def __enter__(self) -> "_Request":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    Usage::
+
+        cpu = Resource(sim, capacity=1)
+
+        def proc(sim):
+            req = cpu.request()
+            yield req
+            try:
+                yield sim.timeout(3)       # hold the cpu
+            finally:
+                cpu.release(req)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._users: set = set()
+        self._waiting: deque = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> _Request:
+        """Request a slot; the returned event fires when granted."""
+        return _Request(self)
+
+    def _do_request(self, request: _Request) -> None:
+        if len(self._users) < self.capacity:
+            self._users.add(request)
+            request.succeed()
+        else:
+            self._waiting.append(request)
+
+    def release(self, request: _Request) -> None:
+        """Return a previously granted slot."""
+        if request in self._users:
+            self._users.remove(request)
+        else:
+            # Cancelling a queued request is also a release.
+            try:
+                self._waiting.remove(request)
+                return
+            except ValueError:
+                raise SimulationError("release() of a request never granted")
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.add(nxt)
+            nxt.succeed()
+
+
+class _Get(Event):
+    def __init__(self, store: "Store"):
+        super().__init__(store.sim)
+        store._getters.append(self)
+        store._dispatch()
+
+
+class _FilterGet(Event):
+    def __init__(self, store: "FilterStore", predicate):
+        super().__init__(store.sim)
+        self.predicate = predicate
+        store._getters.append(self)
+        store._dispatch()
+
+
+class _Put(Event):
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.sim)
+        self.item = item
+        store._putters.append(self)
+        store._dispatch()
+
+
+class Store:
+    """FIFO store of arbitrary items, optionally bounded.
+
+    ``put`` returns an event that fires once the item is accepted (always
+    immediately for unbounded stores); ``get`` returns an event that fires
+    with the oldest item once one is available.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._getters: deque = deque()
+        self._putters: deque = deque()
+
+    # -- container-ish introspection -----------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> list:
+        """Snapshot of currently stored items (oldest first)."""
+        return list(self._items)
+
+    # -- operations -------------------------------------------------------------
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; returned event fires when accepted."""
+        return _Put(self, item)
+
+    def get(self) -> Event:
+        """Remove and return the oldest item via the returned event."""
+        return _Get(self)
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            item = self._pop_item()
+            self._admit_putters()
+            return True, item
+        return False, None
+
+    # -- internals ---------------------------------------------------------------
+
+    def _store_item(self, item: Any) -> None:
+        self._items.append(item)
+
+    def _pop_item(self) -> Any:
+        return self._items.popleft()
+
+    def _admit_putters(self) -> None:
+        while self._putters and len(self._items) < self.capacity:
+            put = self._putters.popleft()
+            self._store_item(put.item)
+            put.succeed()
+
+    def _dispatch(self) -> None:
+        self._admit_putters()
+        while self._getters and self._items:
+            get = self._match_getter()
+            if get is None:
+                break
+            self._admit_putters()
+        # A successful get may have freed capacity for a waiting putter,
+        # whose item may in turn satisfy a waiting getter.
+        if self._getters and self._items:
+            self._dispatch()
+
+    def _match_getter(self) -> Optional[Event]:
+        get = self._getters.popleft()
+        get.succeed(self._pop_item())
+        return get
+
+
+class PriorityStore(Store):
+    """A store whose ``get`` returns the smallest item (heap order).
+
+    Items must be comparable; the virtual-time layers store
+    ``(timestamp, tiebreak, payload)`` tuples.
+    """
+
+    def _store_item(self, item: Any) -> None:
+        heapq.heappush(self._items, item)  # type: ignore[arg-type]
+
+    def _pop_item(self) -> Any:
+        return heapq.heappop(self._items)  # type: ignore[arg-type]
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+        super().__init__(sim, capacity)
+        self._items: list = []  # heap, not deque
+
+    def peek(self) -> Any:
+        """Smallest stored item without removing it."""
+        if not self._items:
+            raise SimulationError("peek() on empty PriorityStore")
+        return self._items[0]
+
+
+class FilterStore(Store):
+    """A store whose getters may demand items matching a predicate."""
+
+    def get(self, predicate: Callable[[Any], bool] = lambda item: True):
+        return _FilterGet(self, predicate)
+
+    def _dispatch(self) -> None:
+        self._admit_putters()
+        progress = True
+        while progress:
+            progress = False
+            for get in list(self._getters):
+                for item in self._items:
+                    if get.predicate(item):
+                        self._items.remove(item)
+                        self._getters.remove(get)
+                        get.succeed(item)
+                        progress = True
+                        break
+            if progress:
+                self._admit_putters()

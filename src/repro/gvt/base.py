@@ -1,0 +1,99 @@
+"""Common model for the standalone virtual-time kernels (§2.2).
+
+The paper: "MESSENGERS supports both a conservative and an optimistic
+approach [Jef85, Fuj90]".  The conservative engine wired into the
+daemons lives in :mod:`repro.messengers.vtime`; this package provides
+*library-level* virtual-time kernels over an explicit logical-process
+(LP) model, so the two synchronization strategies can be compared head
+to head on the same workload (benchmark ABL-GVT).
+
+An application defines:
+
+* a set of named LPs, each with a state dict;
+* a handler ``handle(lp_state, event) -> [Event, ...]`` producing new
+  events (possibly for other LPs, strictly in the timestamp future);
+* optionally a per-event processing cost in seconds.
+
+Both kernels guarantee that handlers observe events in nondecreasing
+timestamp order per LP (the optimistic kernel enforces this by rolling
+back when it speculated wrong), so final states are identical between
+engines — a property the tests assert.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "LpSpec", "RunStats", "VirtualTimeKernelError"]
+
+_event_ids = itertools.count(1)
+
+
+class VirtualTimeKernelError(RuntimeError):
+    """Protocol violation inside a virtual-time kernel."""
+
+
+@dataclass(frozen=True)
+class Event:
+    """A timestamped event destined for one LP.
+
+    ``anti`` marks Time-Warp anti-messages (cancellations); user code
+    never creates those.  ``uid`` identifies the message/anti-message
+    pair.
+    """
+
+    timestamp: float
+    target: str
+    payload: Any = None
+    anti: bool = False
+    uid: int = field(default_factory=lambda: next(_event_ids))
+
+    def as_anti(self) -> "Event":
+        """The annihilating twin of this event."""
+        return replace(self, anti=True)
+
+    def sort_key(self):
+        return (self.timestamp, self.uid)
+
+
+@dataclass
+class LpSpec:
+    """Definition of one logical process.
+
+    ``handler(state, event) -> list[Event]`` mutates ``state`` and
+    returns new events.  Events it returns must have timestamps
+    strictly greater than the handled event's (positive lookahead) —
+    both kernels check this.
+
+    ``cost_s`` charges wall-clock (simulated) seconds per handled event;
+    ``state_bytes`` sizes Time-Warp state snapshots for cost accounting.
+    """
+
+    name: str
+    handler: Callable[[dict, Event], list]
+    state: dict = field(default_factory=dict)
+    cost_s: float = 0.0
+    state_bytes: int = 64
+
+
+@dataclass
+class RunStats:
+    """What a kernel run reports."""
+
+    events_processed: int = 0
+    events_rolled_back: int = 0
+    rollbacks: int = 0
+    anti_messages: int = 0
+    gvt_advances: int = 0
+    final_gvt: float = 0.0
+    wallclock_s: float = 0.0  # simulated seconds
+
+    @property
+    def efficiency(self) -> float:
+        """Committed / total processed (1.0 for conservative runs)."""
+        total = self.events_processed
+        if total == 0:
+            return 1.0
+        return (total - self.events_rolled_back) / total

@@ -1,0 +1,152 @@
+"""Reference workloads for comparing virtual-time kernels.
+
+* :func:`phold` — the classic PHOLD stress test: a fixed population of
+  jobs bouncing between LPs with random timestamp increments.  Low
+  lookahead and cross-LP traffic make it rollback-prone, which is what
+  separates conservative from optimistic engines.
+* :func:`pipeline` — a feed-forward chain (excellent lookahead), the
+  conservative-friendly extreme.
+* :func:`skewed_load` — LPs with very different per-event costs, where
+  optimism lets fast LPs run ahead (the case the paper's §2.2 says
+  favours optimistic execution).
+
+Each builder returns ``(lp_specs, initial_events)``; run them on either
+kernel.  All randomness is drawn up front from a seeded RNG so both
+kernels process the *same* logical workload (handler behaviour depends
+only on event payloads and LP state, never on a live RNG), which makes
+state equivalence between engines exactly checkable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .base import Event, LpSpec
+
+__all__ = ["phold", "pipeline", "skewed_load"]
+
+
+def phold(
+    n_lps: int = 4,
+    population: int = 8,
+    hops: int = 20,
+    seed: int = 0,
+    cost_s: float = 1e-4,
+    mean_increment: float = 1.0,
+):
+    """Build a PHOLD instance.
+
+    Each job performs ``hops`` moves; move ``k`` of job ``j`` goes to a
+    pre-drawn LP with a pre-drawn timestamp increment, so the event
+    graph is fully deterministic.  LP state counts arrivals per job.
+    """
+    rng = random.Random(seed)
+    # Pre-draw the full itinerary of every job: (target_lp, increment).
+    itineraries = [
+        [
+            (
+                rng.randrange(n_lps),
+                rng.uniform(0.5 * mean_increment, 1.5 * mean_increment),
+            )
+            for _ in range(hops)
+        ]
+        for _ in range(population)
+    ]
+
+    def handler(state, event):
+        job, hop_index = event.payload
+        state["arrivals"] = state.get("arrivals", 0) + 1
+        state.setdefault("jobs_seen", []).append((job, hop_index))
+        if hop_index + 1 >= hops:
+            return []
+        target, increment = itineraries[job][hop_index + 1]
+        return [
+            Event(
+                timestamp=event.timestamp + increment,
+                target=f"lp{target}",
+                payload=(job, hop_index + 1),
+            )
+        ]
+
+    specs = [
+        LpSpec(name=f"lp{index}", handler=handler, cost_s=cost_s)
+        for index in range(n_lps)
+    ]
+    initial = []
+    for job in range(population):
+        target, increment = itineraries[job][0]
+        initial.append(
+            Event(timestamp=increment, target=f"lp{target}",
+                  payload=(job, 0))
+        )
+    return specs, initial
+
+
+def pipeline(
+    stages: int = 5,
+    items: int = 10,
+    stage_delay: float = 1.0,
+    cost_s: float = 1e-4,
+):
+    """A feed-forward pipeline: stage k forwards to stage k+1."""
+
+    def handler(state, event):
+        item, stage = event.payload
+        state["handled"] = state.get("handled", 0) + 1
+        if stage + 1 >= stages:
+            return []
+        return [
+            Event(
+                timestamp=event.timestamp + stage_delay,
+                target=f"stage{stage + 1}",
+                payload=(item, stage + 1),
+            )
+        ]
+
+    specs = [
+        LpSpec(name=f"stage{index}", handler=handler, cost_s=cost_s)
+        for index in range(stages)
+    ]
+    initial = [
+        Event(timestamp=1.0 + item * 0.1, target="stage0",
+              payload=(item, 0))
+        for item in range(items)
+    ]
+    return specs, initial
+
+
+def skewed_load(
+    n_lps: int = 4,
+    rounds: int = 10,
+    slow_factor: float = 20.0,
+    base_cost_s: float = 1e-4,
+):
+    """A ring where one LP is much slower than the rest.
+
+    Under conservative execution every GVT advance waits for the slow
+    LP; under Time Warp the fast LPs speculate ahead and almost never
+    roll back (the ring imposes its own causality).
+    """
+
+    def handler(state, event):
+        round_index = event.payload
+        state["rounds"] = state.get("rounds", 0) + 1
+        if round_index + 1 >= rounds:
+            return []
+        me = int(event.target[2:])
+        nxt = (me + 1) % n_lps
+        return [
+            Event(
+                timestamp=event.timestamp + 1.0,
+                target=f"lp{nxt}",
+                payload=round_index + 1,
+            )
+        ]
+
+    specs = []
+    for index in range(n_lps):
+        cost = base_cost_s * (slow_factor if index == 0 else 1.0)
+        specs.append(LpSpec(name=f"lp{index}", handler=handler, cost_s=cost))
+    initial = [Event(timestamp=1.0, target="lp0", payload=0)]
+    return specs, initial

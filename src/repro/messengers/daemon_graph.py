@@ -1,0 +1,140 @@
+"""The daemon network: the middle layer of the three-level architecture.
+
+"The lowest level is the physical network … Superimposed on the physical
+layer is the daemon network, where each daemon is a UNIX process running
+a Messengers language interpreter" (§2.1).  Daemon links, like logical
+links, can be named and directed; ``create``'s ``(dn, dl, ddir)`` triple
+selects placement daemons by matching against this graph.
+
+On the paper's platform (one Ethernet LAN) the daemon network is the
+complete graph, which :meth:`DaemonNetwork.complete` builds; rings and
+grids are provided for experiments with other topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["DaemonLink", "DaemonNetwork"]
+
+
+@dataclass(frozen=True)
+class DaemonLink:
+    """A (possibly directed, possibly named) daemon-level link."""
+
+    src: str
+    dst: str
+    name: Optional[str] = None
+    directed: bool = False
+
+
+class DaemonNetwork:
+    """Adjacency structure over daemon (host) names."""
+
+    def __init__(self, daemons: Iterable[str]):
+        self._daemons = list(dict.fromkeys(daemons))
+        if not self._daemons:
+            raise ValueError("daemon network needs at least one daemon")
+        self._adjacency: dict[str, list[DaemonLink]] = {
+            name: [] for name in self._daemons
+        }
+
+    # -- construction ------------------------------------------------------
+
+    def add_link(
+        self,
+        src: str,
+        dst: str,
+        name: Optional[str] = None,
+        directed: bool = False,
+    ) -> DaemonLink:
+        """Connect two daemons; forward direction is ``src`` → ``dst``."""
+        for endpoint in (src, dst):
+            if endpoint not in self._adjacency:
+                raise KeyError(f"unknown daemon {endpoint!r}")
+        link = DaemonLink(src, dst, name, directed)
+        self._adjacency[src].append(link)
+        self._adjacency[dst].append(link)
+        return link
+
+    @classmethod
+    def complete(cls, daemons: Sequence[str]) -> "DaemonNetwork":
+        """Complete graph — every daemon neighbors every other (a LAN)."""
+        network = cls(daemons)
+        names = network.daemons
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                network.add_link(a, b)
+        return network
+
+    @classmethod
+    def ring(cls, daemons: Sequence[str], directed: bool = False):
+        """A cycle over the daemons in the given order."""
+        network = cls(daemons)
+        names = network.daemons
+        for index, name in enumerate(names):
+            network.add_link(
+                name, names[(index + 1) % len(names)], directed=directed
+            )
+        return network
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def daemons(self) -> list[str]:
+        return list(self._daemons)
+
+    def __len__(self) -> int:
+        return len(self._daemons)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._adjacency
+
+    def neighbors(self, name: str) -> list[str]:
+        """All daemons one link away from ``name``."""
+        seen = []
+        for link in self._adjacency[name]:
+            other = link.dst if link.src == name else link.src
+            if other not in seen:
+                seen.append(other)
+        return seen
+
+    def matches(
+        self,
+        from_daemon: str,
+        dn: str = "*",
+        dl: str = "*",
+        ddir: str = "*",
+    ) -> list[str]:
+        """Resolve a create statement's daemon destination triple.
+
+        Matching mirrors the logical-network rules: ``dn`` matches the
+        far daemon's name (``*`` = any), ``dl`` the link name, ``ddir``
+        the traversal direction.  As in the paper's example, matching is
+        over *neighboring* daemons ("create … on all neighboring
+        daemons").  A concrete ``dn`` that happens to be this daemon
+        itself is also accepted, so Messengers can create purely local
+        subnetworks.
+        """
+        if from_daemon not in self._adjacency:
+            raise KeyError(f"unknown daemon {from_daemon!r}")
+        results = []
+        for link in self._adjacency[from_daemon]:
+            other = link.dst if link.src == from_daemon else link.src
+            if dn != "*" and other != dn:
+                continue
+            if dl != "*" and link.name != dl:
+                continue
+            if ddir != "*" and link.directed:
+                forward = link.src == from_daemon
+                if forward != (ddir == "+"):
+                    continue
+            if other not in results:
+                results.append(other)
+        if dn == from_daemon and dn not in results:
+            results.append(dn)
+        return results
+
+    def __repr__(self) -> str:
+        return f"<DaemonNetwork {len(self._daemons)} daemons>"

@@ -1,0 +1,288 @@
+"""The logical network: persistent nodes and links Messengers navigate.
+
+The logical network is the paper's "exogenous skeleton" (§1): an
+application-specific graph of named or unnamed nodes connected by named
+or unnamed, directed or undirected links, superimposed on the daemon
+network.  It persists independently of any Messenger — nodes hold *node
+variables* that outlive the computations that wrote them.
+
+Naming conventions follow §2.1:
+
+* node/link names are strings; ``UNNAMED`` (``~`` in MCL) creates an
+  anonymous node/link;
+* the wildcard ``ANY`` (``*`` in MCL) matches any name;
+* link directions are ``+`` (forward), ``-`` (backward), ``*`` (either);
+  an undirected link matches every direction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Optional
+
+__all__ = [
+    "ANY",
+    "UNNAMED",
+    "VIRTUAL",
+    "FORWARD",
+    "BACKWARD",
+    "EITHER",
+    "LogicalNode",
+    "LogicalLink",
+    "LogicalNetwork",
+]
+
+#: Wildcard matching any node or link name (``*``).
+ANY = "*"
+#: Marker for an anonymous node or link (``~``).
+UNNAMED = "~"
+#: Pseudo link name requesting a direct jump to the named node.
+VIRTUAL = "virtual"
+
+FORWARD = "+"
+BACKWARD = "-"
+EITHER = "*"
+
+_DIRECTIONS = (FORWARD, BACKWARD, EITHER)
+
+
+class LogicalNode:
+    """One place in the logical network.
+
+    Node variables (shared by all Messengers at the node, §2.1) live in
+    :attr:`variables`.  ``name`` may be ``None`` for unnamed nodes; the
+    unique ``uid`` disambiguates.
+    """
+
+    def __init__(self, uid: int, name: Optional[str], daemon: str):
+        self.uid = uid
+        self.name = name
+        self.daemon = daemon
+        self.variables: dict[str, Any] = {}
+        self.links: list["LogicalLink"] = []
+
+    @property
+    def display_name(self) -> str:
+        return self.name if self.name is not None else f"~{self.uid}"
+
+    def matches(self, pattern: str) -> bool:
+        """Does this node match a destination-specification name?
+
+        Unnamed nodes match their unique display name (``~<uid>``), so a
+        Messenger can return to a specific anonymous node it has seen.
+        """
+        if pattern == ANY:
+            return True
+        return self.name == pattern or self.display_name == pattern
+
+    def neighbors(self) -> list["LogicalNode"]:
+        """All nodes one link away."""
+        return [link.other(self) for link in self.links]
+
+    def degree(self) -> int:
+        return len(self.links)
+
+    def __repr__(self) -> str:
+        return f"<LogicalNode {self.display_name} @ {self.daemon}>"
+
+
+class LogicalLink:
+    """A (possibly directed) link between two logical nodes.
+
+    For directed links, ``src`` → ``dst`` is the forward (``+``)
+    direction.  Undirected links have ``directed=False`` and match any
+    requested direction.
+    """
+
+    def __init__(
+        self,
+        uid: int,
+        name: Optional[str],
+        src: LogicalNode,
+        dst: LogicalNode,
+        directed: bool = False,
+    ):
+        self.uid = uid
+        self.name = name
+        self.src = src
+        self.dst = dst
+        self.directed = directed
+
+    @property
+    def display_name(self) -> str:
+        return self.name if self.name is not None else f"~{self.uid}"
+
+    def other(self, node: LogicalNode) -> LogicalNode:
+        """The endpoint that is not ``node``."""
+        if node is self.src:
+            return self.dst
+        if node is self.dst:
+            return self.src
+        raise ValueError(f"{node!r} is not an endpoint of {self!r}")
+
+    def matches_name(self, pattern: str) -> bool:
+        """Match by name; unnamed links match their ``~<uid>`` display
+        name, which is what ``$last`` reports after traversing them."""
+        if pattern == ANY:
+            return True
+        return self.name == pattern or self.display_name == pattern
+
+    def matches_direction(self, from_node: LogicalNode, want: str) -> bool:
+        """Would traversing from ``from_node`` satisfy direction ``want``?
+
+        ``want`` is ``+`` / ``-`` / ``*`` as written in the hop statement.
+        Traversing a directed link from its source is the forward
+        direction; from its destination, backward.  Undirected links
+        satisfy everything.
+        """
+        if want not in _DIRECTIONS:
+            raise ValueError(f"bad link direction {want!r}")
+        if want == EITHER or not self.directed:
+            return True
+        travelling_forward = from_node is self.src
+        return travelling_forward == (want == FORWARD)
+
+    def __repr__(self) -> str:
+        arrow = "->" if self.directed else "--"
+        return (
+            f"<LogicalLink {self.display_name}: "
+            f"{self.src.display_name}{arrow}{self.dst.display_name}>"
+        )
+
+
+class LogicalNetwork:
+    """The full logical graph, with per-daemon views.
+
+    In the real system each daemon stores only its local nodes; we keep
+    one registry (the simulation runs in one address space) and model the
+    *costs* of distribution at the daemon layer.  The registry offers the
+    queries daemons need: name lookup scoped to a daemon, global lookup
+    for virtual links, and creation/deletion with singleton cleanup.
+    """
+
+    def __init__(self):
+        self._uids = itertools.count(1)
+        self._nodes: dict[int, LogicalNode] = {}
+
+    # -- creation ----------------------------------------------------------
+
+    def create_node(
+        self, name: Optional[str], daemon: str
+    ) -> LogicalNode:
+        """Create a logical node on ``daemon``.  ``name=None`` = unnamed."""
+        node = LogicalNode(next(self._uids), name, daemon)
+        self._nodes[node.uid] = node
+        return node
+
+    def create_link(
+        self,
+        name: Optional[str],
+        src: LogicalNode,
+        dst: LogicalNode,
+        directed: bool = False,
+    ) -> LogicalLink:
+        """Create a link; forward direction is ``src`` → ``dst``."""
+        link = LogicalLink(next(self._uids), name, src, dst, directed)
+        src.links.append(link)
+        dst.links.append(link)
+        return link
+
+    # -- deletion ------------------------------------------------------------
+
+    def delete_link(self, link: LogicalLink) -> list[LogicalNode]:
+        """Remove a link; singleton endpoints are deleted too (§2.1).
+
+        Returns the nodes that were garbage-collected.
+        """
+        removed = []
+        link.src.links.remove(link)
+        link.dst.links.remove(link)
+        for node in (link.src, link.dst):
+            if not node.links and node.uid in self._nodes:
+                # init nodes are permanent anchors; never collect them.
+                if node.name != "init":
+                    del self._nodes[node.uid]
+                    removed.append(node)
+        return removed
+
+    def delete_node(self, node: LogicalNode) -> None:
+        """Remove a node and all of its links."""
+        for link in list(node.links):
+            if link in link.src.links:
+                link.src.links.remove(link)
+            if link in link.dst.links:
+                link.dst.links.remove(link)
+        node.links.clear()
+        self._nodes.pop(node.uid, None)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[LogicalNode]:
+        return list(self._nodes.values())
+
+    @property
+    def links(self) -> list[LogicalLink]:
+        seen: dict[int, LogicalLink] = {}
+        for node in self._nodes.values():
+            for link in node.links:
+                seen[link.uid] = link
+        return list(seen.values())
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def nodes_on(self, daemon: str) -> list[LogicalNode]:
+        """All nodes resident on one daemon."""
+        return [n for n in self._nodes.values() if n.daemon == daemon]
+
+    def find_named(
+        self, name: str, daemon: Optional[str] = None
+    ) -> list[LogicalNode]:
+        """All nodes with ``name`` (optionally restricted to a daemon)."""
+        return [
+            n
+            for n in self._nodes.values()
+            if n.name == name and (daemon is None or n.daemon == daemon)
+        ]
+
+    def contains(self, node: LogicalNode) -> bool:
+        return node.uid in self._nodes
+
+    def match_moves(
+        self,
+        current: LogicalNode,
+        node_pattern: str = ANY,
+        link_pattern: str = ANY,
+        direction: str = EITHER,
+    ) -> list[tuple[Optional[LogicalLink], LogicalNode]]:
+        """Resolve a hop/delete destination specification (§2.1).
+
+        Returns ``(link, node)`` pairs for every neighbor of ``current``
+        reachable over a link matching ``link_pattern``/``direction``
+        whose far node matches ``node_pattern``.  With
+        ``link_pattern=VIRTUAL`` the result is a direct jump to every
+        node in the whole network matching ``node_pattern`` by name
+        (link is ``None``).
+        """
+        if link_pattern == VIRTUAL:
+            if node_pattern == ANY:
+                raise ValueError("virtual hop requires a concrete node name")
+            return [
+                (None, node)
+                for node in self._nodes.values()
+                if node.matches(node_pattern) and node is not current
+            ]
+        moves = []
+        for link in current.links:
+            if not link.matches_name(link_pattern):
+                continue
+            if not link.matches_direction(current, direction):
+                continue
+            far = link.other(current)
+            if far.matches(node_pattern):
+                moves.append((link, far))
+        return moves
+
+    def __repr__(self) -> str:
+        return f"<LogicalNetwork nodes={len(self._nodes)}>"

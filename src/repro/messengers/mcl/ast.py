@@ -1,0 +1,289 @@
+"""Abstract syntax tree for MCL.
+
+Plain dataclasses; the compiler walks these to emit bytecode.  Navigation
+statements carry :class:`NavSpec` / :class:`CreateItem` records whose
+fields are either expression nodes (evaluated at run time) or the marker
+singletons :data:`WILDCARD` / :data:`UNNAMED`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+__all__ = [
+    "WILDCARD",
+    "UNNAMED",
+    "Assign",
+    "AssignExpr",
+    "BinOp",
+    "Block",
+    "Break",
+    "Call",
+    "Continue",
+    "Create",
+    "CreateItem",
+    "Delete",
+    "ExprStmt",
+    "For",
+    "Function",
+    "Hop",
+    "If",
+    "Index",
+    "IndexAssign",
+    "NavSpec",
+    "NetVar",
+    "Num",
+    "Return",
+    "Script",
+    "Str",
+    "UnOp",
+    "Var",
+    "While",
+]
+
+
+class _Marker:
+    """Singleton marker used for ``*`` and ``~`` in navigation specs."""
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def __repr__(self) -> str:
+        return self._name
+
+
+#: The ``*`` wildcard in a navigation spec field.
+WILDCARD = _Marker("WILDCARD")
+#: The ``~`` (unnamed) marker in a create spec field.
+UNNAMED = _Marker("UNNAMED")
+
+NavValue = Union["Expr", _Marker, str]
+
+
+# -- expressions ----------------------------------------------------------
+
+
+@dataclass
+class Num:
+    value: float
+
+
+@dataclass
+class Str:
+    value: str
+
+
+@dataclass
+class Var:
+    """A messenger or node variable reference (resolved at run time)."""
+
+    name: str
+
+
+@dataclass
+class NetVar:
+    """A ``$``-prefixed network variable (``$address``, ``$last``, …)."""
+
+    name: str
+
+
+@dataclass
+class Call:
+    """Invocation of a native-mode function (§2.1, statement type 3)."""
+
+    name: str
+    args: list
+
+
+@dataclass
+class Index:
+    """Subscript expression ``base[index]`` (lists, dicts, arrays)."""
+
+    base: "Expr"
+    index: "Expr"
+
+
+@dataclass
+class IndexAssign:
+    """``name[index] op expr`` where op ∈ {=, +=, -=, *=, /=}.
+
+    Augmented forms evaluate ``index`` twice; keep index expressions
+    side-effect free (as C programmers do anyway).
+    """
+
+    target: str
+    index: "Expr"
+    op: str
+    expr: "Expr"
+
+
+@dataclass
+class AssignExpr:
+    """C assignment-as-expression: ``(task = next_task())`` evaluates to
+    the assigned value — the idiom Figure 3 of the paper relies on."""
+
+    target: str
+    expr: "Expr"
+
+
+@dataclass
+class BinOp:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass
+class UnOp:
+    op: str
+    operand: "Expr"
+
+
+Expr = Union[Num, Str, Var, NetVar, Call, BinOp, UnOp, AssignExpr, Index]
+
+
+# -- navigation specs ---------------------------------------------------------
+
+
+@dataclass
+class NavSpec:
+    """Destination specification of ``hop`` / ``delete``: (ln, ll, ldir).
+
+    Defaults are all-wildcards, matching the paper's ``hop()``.
+    ``ldir`` is a literal direction character (``+``/``-``/``*``).
+    """
+
+    ln: NavValue = WILDCARD
+    ll: NavValue = WILDCARD
+    ldir: str = "*"
+
+
+@dataclass
+class CreateItem:
+    """One new-node specification of ``create``.
+
+    ``(ln, ll, ldir)`` describe the new logical node and its connecting
+    link; ``(dn, dl, ddir)`` select the daemon to place it on.  Logical
+    fields default to ``~`` (unnamed), daemon fields to ``*`` (§2.1).
+    """
+
+    ln: NavValue = UNNAMED
+    ll: NavValue = UNNAMED
+    ldir: str = "*"
+    dn: NavValue = WILDCARD
+    dl: NavValue = WILDCARD
+    ddir: str = "*"
+
+
+# -- statements ------------------------------------------------------------------
+
+
+@dataclass
+class Block:
+    statements: list
+
+
+@dataclass
+class Assign:
+    """``target op expr`` where op ∈ {=, +=, -=, *=, /=}."""
+
+    target: str
+    op: str
+    expr: Expr
+    is_netvar: bool = False
+
+
+@dataclass
+class ExprStmt:
+    expr: Expr
+
+
+@dataclass
+class If:
+    condition: Expr
+    then_body: Block
+    else_body: Optional[Block] = None
+
+
+@dataclass
+class While:
+    condition: Expr
+    body: Block = field(default_factory=lambda: Block([]))
+
+
+@dataclass
+class For:
+    init: Optional[object]
+    condition: Optional[Expr]
+    step: Optional[object]
+    body: Block
+
+
+@dataclass
+class Break:
+    pass
+
+
+@dataclass
+class Continue:
+    pass
+
+
+@dataclass
+class Return:
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class Hop:
+    spec: NavSpec
+
+
+@dataclass
+class Delete:
+    spec: NavSpec
+
+
+@dataclass
+class Create:
+    items: list
+    all_daemons: bool = False
+
+
+# -- top level ----------------------------------------------------------------------
+
+
+@dataclass
+class Function:
+    """One Messenger behavior: parameters, node-variable declarations,
+    and the statement body."""
+
+    name: str
+    params: list
+    node_vars: list
+    body: Block
+
+
+@dataclass
+class Script:
+    """A compilation unit: one or more functions."""
+
+    functions: dict
+
+    def function(self, name: Optional[str] = None) -> Function:
+        """Look up a function; with no name, the single/first one."""
+        if name is None:
+            if len(self.functions) != 1:
+                raise KeyError(
+                    "script defines several functions "
+                    f"({sorted(self.functions)}); name one explicitly"
+                )
+            return next(iter(self.functions.values()))
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(
+                f"no function {name!r} in script "
+                f"(have {sorted(self.functions)})"
+            ) from None

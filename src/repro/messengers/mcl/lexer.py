@@ -1,0 +1,232 @@
+"""Lexer for MCL, the Messenger Control Language.
+
+MCL is the C subset the paper describes in §2.1: computational
+statements (assignment, arithmetic, control flow), the navigational
+statements ``hop``/``create``/``delete``, and invocation of native-mode
+functions.  This module turns source text into a token stream; the
+parser consumes it.
+
+Token kinds
+-----------
+``IDENT`` identifiers, ``NUMBER`` int/float literals, ``STRING`` quoted
+strings, ``NETVAR`` ``$``-prefixed network variables, punctuation and
+operator tokens by their spelling, and keywords (``if``, ``while``,
+``hop``, …) as kind == spelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "if",
+        "else",
+        "while",
+        "for",
+        "break",
+        "continue",
+        "return",
+        "node",
+        "hop",
+        "create",
+        "delete",
+        "mod",
+        "and",
+        "or",
+        "not",
+        "ALL",
+    }
+)
+
+# Multi-character operators first so maximal munch works.
+_OPERATORS = (
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "!",
+    "(",
+    ")",
+    "{",
+    "}",
+    ",",
+    ";",
+    "~",
+    "[",
+    "]",
+)
+
+
+class LexError(SyntaxError):
+    """Bad character or malformed literal in MCL source."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical unit: ``kind``, source ``text``, and position."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind!r}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MCL source; raises :class:`LexError` on bad input."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    position = 0
+    line = 1
+    line_start = 0
+    length = len(source)
+
+    def column() -> int:
+        return position - line_start + 1
+
+    while position < length:
+        char = source[position]
+
+        # -- whitespace ----------------------------------------------------
+        if char == "\n":
+            position += 1
+            line += 1
+            line_start = position
+            continue
+        if char in " \t\r":
+            position += 1
+            continue
+
+        # -- comments ----------------------------------------------------
+        if source.startswith("//", position):
+            end = source.find("\n", position)
+            position = length if end < 0 else end
+            continue
+        if source.startswith("/*", position):
+            end = source.find("*/", position + 2)
+            if end < 0:
+                raise LexError("unterminated comment", line, column())
+            line += source.count("\n", position, end)
+            newline = source.rfind("\n", position, end)
+            if newline >= 0:
+                line_start = newline + 1
+            position = end + 2
+            continue
+
+        # -- string literals ---------------------------------------------
+        if char == '"':
+            end = position + 1
+            chunks = []
+            while end < length and source[end] != '"':
+                if source[end] == "\n":
+                    raise LexError("newline in string", line, column())
+                if source[end] == "\\" and end + 1 < length:
+                    escape = source[end + 1]
+                    chunks.append(
+                        {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(
+                            escape, escape
+                        )
+                    )
+                    end += 2
+                else:
+                    chunks.append(source[end])
+                    end += 1
+            if end >= length:
+                raise LexError("unterminated string", line, column())
+            yield Token("STRING", "".join(chunks), line, column())
+            position = end + 1
+            continue
+
+        # -- numbers ------------------------------------------------------
+        if char.isdigit() or (
+            char == "."
+            and position + 1 < length
+            and source[position + 1].isdigit()
+        ):
+            end = position
+            seen_dot = False
+            while end < length and (
+                source[end].isdigit() or (source[end] == "." and not seen_dot)
+            ):
+                if source[end] == ".":
+                    seen_dot = True
+                end += 1
+            # exponent part
+            if end < length and source[end] in "eE":
+                exp = end + 1
+                if exp < length and source[exp] in "+-":
+                    exp += 1
+                if exp < length and source[exp].isdigit():
+                    while exp < length and source[exp].isdigit():
+                        exp += 1
+                    end = exp
+                    seen_dot = True
+            yield Token("NUMBER", source[position:end], line, column())
+            position = end
+            continue
+
+        # -- network variables ($address, $last, ...) ----------------------
+        if char == "$":
+            end = position + 1
+            while end < length and (
+                source[end].isalnum() or source[end] == "_"
+            ):
+                end += 1
+            if end == position + 1:
+                raise LexError("bare '$'", line, column())
+            yield Token("NETVAR", source[position + 1 : end], line, column())
+            position = end
+            continue
+
+        # -- identifiers / keywords -----------------------------------------
+        if char.isalpha() or char == "_":
+            end = position
+            while end < length and (
+                source[end].isalnum() or source[end] == "_"
+            ):
+                end += 1
+            text = source[position:end]
+            kind = text if text in KEYWORDS else "IDENT"
+            yield Token(kind, text, line, column())
+            position = end
+            continue
+
+        # -- operators & punctuation -------------------------------------------
+        for op in _OPERATORS:
+            if source.startswith(op, position):
+                yield Token(op, op, line, column())
+                position += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {char!r}", line, column())
+
+    yield Token("EOF", "", line, column())

@@ -1,0 +1,299 @@
+"""The MCL bytecode interpreter.
+
+A daemon runs one :class:`Frame` per Messenger.  :func:`run` executes
+instructions until the Messenger reaches a preemption point — a
+navigational statement, a virtual-time suspension, or termination — and
+returns the corresponding :class:`~.bytecode.Command`.  This implements
+the paper's *modified non-preemptive scheduling policy* (§2.1): between
+preemption points a Messenger runs atomically, which is what lets
+critical sections be written as plain statement sequences.
+
+Frames are cheaply cloneable; cloning is how ``hop`` over multiple links
+and ``create(ALL)`` replicate an in-flight computation (§2.1).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .bytecode import (
+    CreateCommand,
+    CreateItemSpec,
+    Command,
+    DeleteCommand,
+    DoneCommand,
+    EXPR,
+    HopCommand,
+    Program,
+    SchedCommand,
+    UNNAMED_KIND,
+    WILD,
+)
+
+__all__ = ["Frame", "MclRuntimeError", "run"]
+
+
+class MclRuntimeError(RuntimeError):
+    """An error raised while interpreting a Messenger script."""
+
+
+@dataclass
+class Frame:
+    """Execution state of one Messenger: program counter + operand stack.
+
+    The Messenger's variables live outside the frame (on the
+    :class:`~repro.messengers.messenger.Messenger`) because they are
+    state that migrates; the frame is the interpreter's transient view.
+    """
+
+    program: Program
+    pc: int = 0
+    stack: list = field(default_factory=list)
+
+    def clone(self) -> "Frame":
+        """Duplicate for replication; stack contents are shallow-copied
+        (at preemption points the stack holds at most small scalars)."""
+        return Frame(self.program, self.pc, list(self.stack))
+
+    def push(self, value: Any) -> None:
+        self.stack.append(value)
+
+    def pop(self) -> Any:
+        try:
+            return self.stack.pop()
+        except IndexError:
+            raise MclRuntimeError(
+                f"stack underflow at pc={self.pc} in {self.program.name}"
+            ) from None
+
+
+def _truthy(value: Any) -> bool:
+    """C truthiness: 0 / 0.0 / None / "" are false."""
+    if value is None:
+        return False
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return value != ""
+    return bool(value)
+
+
+def _coerce_index(index: Any) -> Any:
+    """Float indices from MCL arithmetic index like C ints."""
+    if isinstance(index, float) and index.is_integer():
+        return int(index)
+    return index
+
+
+def _binop(op: str, left: Any, right: Any) -> Any:
+    try:
+        if op == "[]":
+            return left[_coerce_index(right)]
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if isinstance(left, int) and isinstance(right, int):
+                return left // right  # C integer division
+            return left / right
+        if op == "%":
+            return left % right
+        if op == "==":
+            return 1 if left == right else 0
+        if op == "!=":
+            return 1 if left != right else 0
+        if op == "<":
+            return 1 if left < right else 0
+        if op == ">":
+            return 1 if left > right else 0
+        if op == "<=":
+            return 1 if left <= right else 0
+        if op == ">=":
+            return 1 if left >= right else 0
+    except (TypeError, ZeroDivisionError, IndexError, KeyError) as error:
+        raise MclRuntimeError(f"{op} failed: {error}") from error
+    raise MclRuntimeError(f"unknown binary operator {op!r}")
+
+
+def _nav_name(value: Any) -> str:
+    """Coerce a spec expression result to a node/link name."""
+    if isinstance(value, str):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def run(
+    frame: Frame,
+    messenger_vars: dict,
+    node_vars: dict,
+    netvar: Callable[[str], Any],
+    call_native: Callable[[str, list], Any],
+    max_instructions: int = 1_000_000,
+) -> Command:
+    """Interpret until the next preemption point.
+
+    Parameters
+    ----------
+    frame:
+        The Messenger's execution state (mutated in place).
+    messenger_vars:
+        Private variables carried by the Messenger (§2.1).
+    node_vars:
+        Variables of the current logical node, shared between Messengers.
+    netvar:
+        Resolver for ``$``-prefixed network variables.
+    call_native:
+        Invokes a registered native-mode function; runs atomically.
+    max_instructions:
+        Runaway-script guard.
+
+    Returns the :class:`Command` describing why execution stopped, with
+    ``instructions`` set to the number of bytecode instructions executed
+    (the daemon charges interpretation time from it).
+    """
+    program = frame.program
+    instructions = program.instructions
+    node_names = program.node_vars
+    executed = 0
+
+    while True:
+        if executed >= max_instructions:
+            raise MclRuntimeError(
+                f"{program.name}: exceeded {max_instructions} instructions "
+                "without reaching a preemption point (infinite loop?)"
+            )
+        try:
+            instr = instructions[frame.pc]
+        except IndexError:
+            # Fell off the end of the program: implicit return.
+            return DoneCommand(instructions=executed)
+        frame.pc += 1
+        executed += 1
+        op = instr.op
+
+        if op == "CONST":
+            frame.push(instr.arg)
+        elif op == "LOAD":
+            name = instr.arg
+            scope = node_vars if name in node_names else messenger_vars
+            try:
+                frame.push(scope[name])
+            except KeyError:
+                raise MclRuntimeError(
+                    f"{program.name}: variable {name!r} used before "
+                    "assignment"
+                ) from None
+        elif op == "STORE":
+            name = instr.arg
+            scope = node_vars if name in node_names else messenger_vars
+            scope[name] = frame.pop()
+        elif op == "LOADNET":
+            frame.push(netvar(instr.arg))
+        elif op == "BINOP":
+            right = frame.pop()
+            left = frame.pop()
+            frame.push(_binop(instr.arg, left, right))
+        elif op == "STORE_INDEX":
+            value = frame.pop()
+            index = frame.pop()
+            container = frame.pop()
+            try:
+                container[_coerce_index(index)] = value
+            except (TypeError, IndexError, KeyError) as error:
+                raise MclRuntimeError(
+                    f"index assignment failed: {error}"
+                ) from error
+        elif op == "UNOP":
+            value = frame.pop()
+            if instr.arg == "-":
+                frame.push(-value)
+            elif instr.arg == "!":
+                frame.push(0 if _truthy(value) else 1)
+            else:
+                raise MclRuntimeError(f"unknown unary op {instr.arg!r}")
+        elif op == "JMP":
+            frame.pc = instr.arg
+        elif op == "JF":
+            if not _truthy(frame.pop()):
+                frame.pc = instr.arg
+        elif op == "POP":
+            frame.pop()
+        elif op == "CALL":
+            name, argc = instr.arg
+            args = [frame.pop() for _ in range(argc)][::-1]
+            frame.push(call_native(name, args))
+        elif op == "RET":
+            value = frame.pop() if instr.arg == "value" else None
+            return DoneCommand(instructions=executed, value=value)
+        elif op == "SCHED":
+            time_value = frame.pop()
+            if not isinstance(time_value, (int, float)):
+                raise MclRuntimeError(
+                    f"M_sched_time_{instr.arg}: non-numeric time "
+                    f"{time_value!r}"
+                )
+            return SchedCommand(
+                instructions=executed, kind=instr.arg, time=float(time_value)
+            )
+        elif op in ("HOP", "DELETE"):
+            template = instr.arg
+            ll = (
+                _nav_name(frame.pop()) if template.ll_kind == EXPR else "*"
+            )
+            ln = (
+                _nav_name(frame.pop()) if template.ln_kind == EXPR else "*"
+            )
+            ctor = HopCommand if op == "HOP" else DeleteCommand
+            return ctor(
+                instructions=executed, ln=ln, ll=ll, ldir=template.ldir
+            )
+        elif op == "CREATE":
+            template = instr.arg
+            # Values were pushed item-by-item in template order; pop in
+            # reverse (last item's last field is on top).
+            resolved: list[CreateItemSpec] = []
+            for item in reversed(template.items):
+                values: dict[str, Any] = {}
+                for fieldname in reversed(item.expr_fields):
+                    values[fieldname] = _nav_name(frame.pop())
+                resolved.append(
+                    CreateItemSpec(
+                        ln=(
+                            values.get("ln")
+                            if item.ln_kind == EXPR
+                            else (None if item.ln_kind == UNNAMED_KIND else "*")
+                        ),
+                        ll=(
+                            values.get("ll")
+                            if item.ll_kind == EXPR
+                            else (None if item.ll_kind == UNNAMED_KIND else "*")
+                        ),
+                        ldir=item.ldir,
+                        dn=(
+                            values.get("dn")
+                            if item.dn_kind == EXPR
+                            else "*"
+                        ),
+                        dl=(
+                            values.get("dl")
+                            if item.dl_kind == EXPR
+                            else "*"
+                        ),
+                        ddir=item.ddir,
+                    )
+                )
+            resolved.reverse()
+            return CreateCommand(
+                instructions=executed,
+                items=resolved,
+                all_daemons=template.all_daemons,
+            )
+        else:  # pragma: no cover - Program() validates opcodes
+            raise MclRuntimeError(f"unknown opcode {op!r}")

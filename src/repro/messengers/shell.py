@@ -1,0 +1,190 @@
+"""The MESSENGERS command shell.
+
+"Arbitrary new Messengers may also be injected by the user from the
+outside (the command shell) at runtime" (§1).  The shell is a small
+command interpreter over a :class:`MessengersSystem`; it is usable
+programmatically (each :meth:`Shell.execute` returns the output text)
+or interactively via :meth:`Shell.repl`.
+
+Commands::
+
+    inject <file.mcl> [arg ...]     inject a Messenger from a script file
+    inject! { <source> } [arg ...]  inject inline source
+    at <daemon>                     set the injection daemon
+    nodes                           list logical nodes
+    links                           list logical links
+    messengers                      list live Messengers
+    stats                           per-daemon statistics
+    gvt                             virtual-time status
+    run                             advance the simulation to quiescence
+    help                            this text
+"""
+
+from __future__ import annotations
+
+import shlex
+from pathlib import Path
+from typing import Optional
+
+from .system import MessengersSystem
+
+__all__ = ["Shell", "ShellError"]
+
+
+class ShellError(ValueError):
+    """Bad shell command."""
+
+
+def _coerce(token: str):
+    """Arguments on the command line become ints/floats when they look
+    like numbers, strings otherwise."""
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        return token
+
+
+class Shell:
+    """Interactive/programmatic front end to one MESSENGERS system."""
+
+    def __init__(self, system: MessengersSystem):
+        self.system = system
+        self.current_daemon = system.daemon_names[0]
+
+    # -- command dispatch ---------------------------------------------------
+
+    def execute(self, command_line: str) -> str:
+        """Run one command; returns its printable output."""
+        line = command_line.strip()
+        if not line or line.startswith("#"):
+            return ""
+        if line.startswith("inject!"):
+            return self._inject_inline(line)
+        parts = shlex.split(line)
+        verb, args = parts[0], parts[1:]
+        handler = getattr(self, f"_cmd_{verb}", None)
+        if handler is None:
+            raise ShellError(f"unknown command {verb!r} (try 'help')")
+        return handler(args)
+
+    def script(self, text: str) -> list:
+        """Run a newline-separated batch of commands."""
+        return [self.execute(line) for line in text.splitlines()]
+
+    def repl(self, input_fn=input, print_fn=print) -> None:  # pragma: no cover
+        """Minimal interactive loop (exit with 'quit' or EOF)."""
+        while True:
+            try:
+                line = input_fn(f"messengers[{self.current_daemon}]> ")
+            except EOFError:
+                return
+            if line.strip() in ("quit", "exit"):
+                return
+            try:
+                output = self.execute(line)
+            except (ShellError, Exception) as error:  # noqa: BLE001
+                output = f"error: {error}"
+            if output:
+                print_fn(output)
+
+    # -- commands --------------------------------------------------------------
+
+    def _cmd_help(self, args) -> str:
+        return __doc__.split("Commands::", 1)[1].strip()
+
+    def _cmd_at(self, args) -> str:
+        if len(args) != 1:
+            raise ShellError("usage: at <daemon>")
+        if args[0] not in self.system.daemons:
+            raise ShellError(f"unknown daemon {args[0]!r}")
+        self.current_daemon = args[0]
+        return f"injecting at {args[0]}"
+
+    def _cmd_inject(self, args) -> str:
+        if not args:
+            raise ShellError("usage: inject <file.mcl> [arg ...]")
+        path = Path(args[0])
+        if not path.exists():
+            raise ShellError(f"no such script file: {path}")
+        source = path.read_text()
+        messenger = self.system.inject(
+            source,
+            args=tuple(_coerce(a) for a in args[1:]),
+            daemon=self.current_daemon,
+        )
+        return f"injected messenger #{messenger.id} at {self.current_daemon}"
+
+    def _inject_inline(self, line: str) -> str:
+        body = line[len("inject!") :].strip()
+        if not (body.startswith("{") and "}" in body):
+            raise ShellError("usage: inject! { <mcl source> } [arg ...]")
+        close = body.rfind("}")
+        source = body[1:close]
+        rest = shlex.split(body[close + 1 :])
+        messenger = self.system.inject(
+            source,
+            args=tuple(_coerce(a) for a in rest),
+            daemon=self.current_daemon,
+        )
+        return f"injected messenger #{messenger.id} at {self.current_daemon}"
+
+    def _cmd_nodes(self, args) -> str:
+        lines = []
+        for node in sorted(
+            self.system.logical.nodes,
+            key=lambda n: (n.daemon, n.display_name),
+        ):
+            variables = ", ".join(sorted(node.variables)) or "-"
+            lines.append(
+                f"{node.display_name:<12} @ {node.daemon:<8} "
+                f"degree={node.degree()} vars: {variables}"
+            )
+        return "\n".join(lines) if lines else "(no nodes)"
+
+    def _cmd_links(self, args) -> str:
+        lines = []
+        for link in self.system.logical.links:
+            arrow = "->" if link.directed else "--"
+            lines.append(
+                f"{link.display_name:<10} "
+                f"{link.src.display_name} {arrow} {link.dst.display_name}"
+            )
+        return "\n".join(lines) if lines else "(no links)"
+
+    def _cmd_messengers(self, args) -> str:
+        alive = self.system.alive_messengers
+        if not alive:
+            return "(no live messengers)"
+        return "\n".join(
+            f"#{m.id} {m.program.name} at "
+            f"{m.node.display_name if m.node else '(transit)'} vt={m.vt}"
+            for m in alive
+        )
+
+    def _cmd_stats(self, args) -> str:
+        lines = []
+        for name, daemon in sorted(self.system.daemons.items()):
+            stats = daemon.stats
+            lines.append(
+                f"{name}: slices={stats.executed_slices} "
+                f"instr={stats.instructions} "
+                f"hops(l/r)={stats.hops_out_local}/{stats.hops_out_remote} "
+                f"arrivals={stats.arrivals} "
+                f"created(n/l)={stats.nodes_created}/{stats.links_created}"
+            )
+        return "\n".join(lines)
+
+    def _cmd_gvt(self, args) -> str:
+        vtime = self.system.vtime
+        return (
+            f"gvt={vtime.gvt} pending={vtime.pending_count} "
+            f"rounds={vtime.rounds}"
+        )
+
+    def _cmd_run(self, args) -> str:
+        now = self.system.run_to_quiescence()
+        return f"quiescent at t={now:.6f}s"

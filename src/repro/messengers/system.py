@@ -1,0 +1,265 @@
+"""The MESSENGERS system facade.
+
+One :class:`MessengersSystem` spans the simulated cluster: it owns the
+daemons (one per host), the logical network, the native-function
+registry, the global-virtual-time engine, and the injection interface
+("arbitrary new Messengers may also be injected by the user from the
+outside (the command shell) at runtime", §1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional, Sequence, Union
+
+from ..des import Simulator
+from ..netsim import CostModel, Network
+from .daemon import Daemon
+from .daemon_graph import DaemonNetwork
+from .logical import LogicalNetwork, LogicalNode
+from .mcl.bytecode import Program
+from .mcl.compiler import compile_source
+from .messenger import Messenger
+from .natives import NativeRegistry
+from .vtime import ConservativeVirtualTime
+
+__all__ = ["MessengersSystem"]
+
+
+class MessengersSystem:
+    """Daemons + logical network + virtual time over a simulated LAN."""
+
+    def __init__(
+        self,
+        network: Network,
+        daemon_graph: Optional[DaemonNetwork] = None,
+        natives: Optional[NativeRegistry] = None,
+    ):
+        self.network = network
+        self.sim: Simulator = network.sim
+        self.costs: CostModel = network.costs
+        self.logical = LogicalNetwork()
+        self.natives = natives or NativeRegistry()
+        self.daemon_graph = daemon_graph or DaemonNetwork.complete(
+            network.host_names
+        )
+        for name in self.daemon_graph.daemons:
+            if name not in network.host_names:
+                raise KeyError(
+                    f"daemon graph references unknown host {name!r}"
+                )
+
+        self.daemons: dict[str, Daemon] = {}
+        for host in network.hosts:
+            daemon = Daemon(self, host)
+            # "At system startup, a single logical node, named init, is
+            # created on every daemon node" (§2.1).
+            daemon.init_node = self.logical.create_node("init", host.name)
+            self.daemons[host.name] = daemon
+
+        self.vtime = ConservativeVirtualTime(self)
+        #: Number of Messengers currently able to make progress
+        #: (ready, executing, or in transit).  Zero = quiescent.
+        self.active_count = 0
+        #: All Messengers ever admitted, by id.
+        self.messengers: dict[int, Messenger] = {}
+        #: Messengers that finished (or were lost) with their fates.
+        self.finished: list[tuple[Messenger, str]] = []
+        self.log_lines: list[str] = []
+        #: Script/native errors caught by daemons (the daemons survive;
+        #: :meth:`run_to_quiescence` re-raises the first one).
+        self.script_errors: list[Exception] = []
+        #: Optional :class:`~repro.messengers.trace.Tracer`.
+        self.tracer = None
+        self._placement_rotation: dict[str, itertools.cycle] = {}
+        self._program_cache: dict[tuple, Program] = {}
+
+    def trace(self, messenger, kind: str, daemon: str, detail: str = ""):
+        """Record a trace event if a tracer is attached (hot path)."""
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, messenger, kind, daemon, detail)
+
+    # -- compilation -------------------------------------------------------
+
+    def compile(
+        self, source: str, function: Optional[str] = None
+    ) -> Program:
+        """Compile (and cache) an MCL source function."""
+        key = (source, function)
+        if key not in self._program_cache:
+            self._program_cache[key] = compile_source(source, function)
+        return self._program_cache[key]
+
+    # -- injection -----------------------------------------------------------
+
+    def inject(
+        self,
+        script: Union[str, Program],
+        args: Sequence[Any] = (),
+        daemon: Optional[str] = None,
+        node: str = "init",
+        function: Optional[str] = None,
+        vt: float = 0.0,
+    ) -> Messenger:
+        """Inject a new Messenger at a daemon's node (default ``init``).
+
+        ``script`` is MCL source text or a pre-compiled
+        :class:`Program`; ``args`` bind to the script's parameters in
+        order and become messenger variables.
+        """
+        program = (
+            script
+            if isinstance(script, Program)
+            else self.compile(script, function)
+        )
+        if len(args) != len(program.params):
+            raise TypeError(
+                f"{program.name} expects {len(program.params)} arguments "
+                f"({', '.join(program.params)}); got {len(args)}"
+            )
+        daemon_name = daemon if daemon is not None else self.daemon_names[0]
+        try:
+            target_daemon = self.daemons[daemon_name]
+        except KeyError:
+            raise KeyError(f"unknown daemon {daemon_name!r}") from None
+
+        candidates = [
+            n
+            for n in self.logical.nodes_on(daemon_name)
+            if n.matches(node)
+        ]
+        if not candidates:
+            raise KeyError(
+                f"no node matching {node!r} on daemon {daemon_name!r}"
+            )
+        start_node = candidates[0]
+
+        messenger = Messenger(
+            program, dict(zip(program.params, args)), vt=vt
+        )
+        messenger.node = start_node
+        self.messengers[messenger.id] = messenger
+        self.activate()
+        target_daemon.enqueue_ready(messenger)
+        return messenger
+
+    @property
+    def daemon_names(self) -> list[str]:
+        return list(self.daemons)
+
+    def daemon(self, name: str) -> Daemon:
+        return self.daemons[name]
+
+    # -- execution driving ----------------------------------------------------------
+
+    def run(self, until: Any = None) -> Any:
+        """Drive the simulation (delegates to the simulator)."""
+        return self.sim.run(until=until)
+
+    def run_to_quiescence(self) -> float:
+        """Run until no Messenger can make progress; returns sim.now.
+
+        This drains the whole event queue: all ready Messengers, all
+        in-flight hops, and every pending virtual-time wake-up.  If any
+        Messenger crashed along the way (script error, native raising),
+        the daemons kept running but the first recorded error is
+        re-raised here — errors never pass silently.
+        """
+        self.sim.run()
+        if self.script_errors:
+            errors, self.script_errors = self.script_errors, []
+            raise errors[0]
+        return self.sim.now
+
+    # -- bookkeeping used by daemons -----------------------------------------------------
+
+    def activate(self) -> None:
+        self.active_count += 1
+
+    def deactivate(self) -> None:
+        if self.active_count <= 0:
+            raise RuntimeError("active count underflow")
+        self.active_count -= 1
+        if self.active_count == 0:
+            self.vtime.on_quiescent()
+
+    def register_replica(self, replica: Messenger) -> None:
+        """Admit a clone produced by hop replication / create(ALL)."""
+        self.messengers[replica.id] = replica
+        self.activate()
+
+    def messenger_done(self, messenger: Messenger, lost: bool = False):
+        """A Messenger terminated (script finished or no hop match)."""
+        messenger.kill()
+        self.finished.append((messenger, "lost" if lost else "done"))
+        self.deactivate()
+
+    def messenger_failed(self, messenger: Messenger) -> None:
+        """A Messenger crashed with a script error (kept for forensics)."""
+        messenger.kill()
+        self.finished.append((messenger, "failed"))
+        self.deactivate()
+
+    def choose_daemon(self, from_daemon: str, candidates: list) -> str:
+        """Placement rule for non-ALL create: rotate over candidates.
+
+        The paper defers its placement rules to [FBDM98]; deterministic
+        rotation reproduces the load-spreading behaviour.
+        """
+        if len(candidates) == 1:
+            return candidates[0]
+        if from_daemon not in self._placement_rotation:
+            neighbors = sorted(self.daemon_graph.neighbors(from_daemon))
+            self._placement_rotation[from_daemon] = (
+                itertools.cycle(neighbors) if neighbors else None
+            )
+        rotation = self._placement_rotation[from_daemon]
+        if rotation is not None:
+            for _ in range(len(self.daemon_graph)):
+                choice = next(rotation)
+                if choice in candidates:
+                    return choice
+        return candidates[0]
+
+    # -- network variables ------------------------------------------------------------------
+
+    def netvar(self, daemon: Daemon, messenger: Messenger, name: str):
+        """Resolve a ``$``-prefixed network variable (§2.1)."""
+        if name == "address":
+            return daemon.name
+        if name == "last":
+            return messenger.last_link if messenger.last_link else "*"
+        if name == "node":
+            return messenger.node.display_name
+        if name == "time":
+            return messenger.vt
+        if name == "gvt":
+            return self.vtime.gvt
+        if name == "degree":
+            return messenger.node.degree()
+        raise KeyError(f"unknown network variable ${name}")
+
+    # -- diagnostics -----------------------------------------------------------------------------
+
+    def log(self, line: str) -> None:
+        self.log_lines.append(line)
+
+    @property
+    def alive_messengers(self) -> list[Messenger]:
+        return [m for m in self.messengers.values() if m.alive]
+
+    def total_instructions(self) -> int:
+        return sum(d.stats.instructions for d in self.daemons.values())
+
+    def total_hops(self) -> tuple[int, int]:
+        """(local, remote) hop counts over all daemons."""
+        local = sum(d.stats.hops_out_local for d in self.daemons.values())
+        remote = sum(d.stats.hops_out_remote for d in self.daemons.values())
+        return local, remote
+
+    def __repr__(self) -> str:
+        return (
+            f"<MessengersSystem daemons={len(self.daemons)} "
+            f"active={self.active_count} "
+            f"nodes={self.logical.node_count()}>"
+        )

@@ -1,0 +1,123 @@
+"""Global Virtual Time for MESSENGERS (§2.2) — conservative engine.
+
+Messengers suspend themselves with ``M_sched_time_abs(t)`` /
+``M_sched_time_dlt(dt)``.  The conservative engine guarantees that a
+suspended Messenger wakes only when the *global* virtual time has
+reached its wake-up time, i.e. when no Messenger anywhere could still
+act at an earlier virtual time.
+
+In the simulation, the moment "nothing can act at an earlier virtual
+time" is precise: the system is *quiescent* — no Messenger is ready,
+executing, or in transit; every live Messenger is suspended on the
+virtual-time queue.  At that point the engine runs one synchronization
+round (charged ``gvt_round_s`` per daemon plus wire latency — the
+"continuous periodic exchange of timing information" the paper calls a
+significant overhead), advances GVT to the minimum pending wake-up
+time, and releases exactly the Messengers scheduled at that time.
+
+The *optimistic* (Time-Warp) alternative the paper mentions is
+implemented as a standalone kernel in :mod:`repro.gvt.optimistic`; see
+DESIGN.md for the split.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Optional
+
+__all__ = ["ConservativeVirtualTime", "VirtualTimeError"]
+
+
+class VirtualTimeError(RuntimeError):
+    """Misuse of the virtual-time facility."""
+
+
+class ConservativeVirtualTime:
+    """The conservative GVT engine wired into the daemons."""
+
+    def __init__(self, system):
+        self._system = system
+        self.gvt = 0.0
+        self._pending: list = []  # heap of (wake_vt, seq, messenger, daemon)
+        self._seq = itertools.count()
+        #: Number of synchronization rounds performed.
+        self.rounds = 0
+        self._round_running = False
+
+    # -- API used by daemons --------------------------------------------------
+
+    def suspend(self, daemon, messenger, kind: str, time: float) -> bool:
+        """Suspend ``messenger`` until virtual time per the SCHED command.
+
+        Returns ``True`` if the Messenger was actually suspended, or
+        ``False`` if its wake-up time is not in the virtual future (the
+        daemon should keep it running; its ``vt`` is already advanced).
+        """
+        if kind == "abs":
+            wake = float(time)
+        elif kind == "dlt":
+            wake = messenger.vt + float(time)
+        else:
+            raise VirtualTimeError(f"bad sched kind {kind!r}")
+
+        if wake <= messenger.vt and wake <= self.gvt:
+            # Scheduling into the virtual past/present: no suspension.
+            messenger.vt = max(messenger.vt, wake)
+            return False
+
+        heapq.heappush(
+            self._pending, (wake, next(self._seq), messenger, daemon)
+        )
+        return True
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def next_wake_time(self) -> Optional[float]:
+        return self._pending[0][0] if self._pending else None
+
+    # -- quiescence hook ---------------------------------------------------------
+
+    def on_quiescent(self) -> None:
+        """Called by the system whenever its active count reaches zero."""
+        if self._pending and not self._round_running:
+            self._round_running = True
+            self._system.sim.process(self._round())
+
+    def _round_delay(self) -> float:
+        costs = self._system.costs
+        n = len(self._system.daemons)
+        return costs.gvt_round_s * n + 2 * costs.wire_latency_s
+
+    def _round(self):
+        """One GVT synchronization round (a simulation process)."""
+        yield self._system.sim.timeout(self._round_delay())
+        self._round_running = False
+        if self._system.active_count > 0:
+            # Someone was injected while the round was in flight; the
+            # computation is no longer quiescent, so do not advance.
+            return
+        if not self._pending:
+            return
+        self.rounds += 1
+        wake_time = self._pending[0][0]
+        if wake_time < self.gvt:
+            raise VirtualTimeError(
+                f"GVT would move backwards: {self.gvt} -> {wake_time}"
+            )
+        self.gvt = wake_time
+        while self._pending and self._pending[0][0] == wake_time:
+            _wake, _seq, messenger, daemon = heapq.heappop(self._pending)
+            if not messenger.alive:
+                continue
+            messenger.vt = wake_time
+            self._system.activate()
+            daemon.enqueue_ready(messenger)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ConservativeVirtualTime gvt={self.gvt} "
+            f"pending={len(self._pending)} rounds={self.rounds}>"
+        )

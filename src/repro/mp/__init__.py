@@ -1,0 +1,29 @@
+"""Message-passing substrate — a PVM 3.3 workalike on the simulated LAN.
+
+The paper's baseline: stationary tasks exchanging passive messages, with
+explicit pack/unpack buffer copies, per-message overhead and synchronous
+spawn, all charged from the cost model.
+
+Public surface: :class:`MessagePassingSystem`, :class:`TaskContext`
+(the ``pvm_*``-flavoured API a task programs against), pack/unpack
+buffers, and the ``ANY`` wildcard.
+"""
+
+from .buffers import PackBuffer, UnpackBuffer, estimate_size
+from .groups import GroupRegistry
+from .pvm import MessagePassingSystem
+from .task import ANY, Message, NO_PARENT, Task, TaskContext, TaskKilled
+
+__all__ = [
+    "ANY",
+    "GroupRegistry",
+    "Message",
+    "MessagePassingSystem",
+    "NO_PARENT",
+    "PackBuffer",
+    "Task",
+    "TaskContext",
+    "TaskKilled",
+    "UnpackBuffer",
+    "estimate_size",
+]

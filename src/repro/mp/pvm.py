@@ -1,0 +1,140 @@
+"""The message-passing system object (the PVM-workalike "virtual machine").
+
+One :class:`MessagePassingSystem` spans the whole simulated cluster: it
+places tasks on hosts (round-robin by default, like ``pvm_spawn`` with
+default placement), runs a per-host delivery daemon that routes arriving
+packets into task mailboxes, and tracks task lifecycles.
+
+This substrate is the baseline the paper compares MESSENGERS against;
+its cost structure (buffer copies, per-message overhead, spawn cost,
+central manager traffic) is charged explicitly from the
+:class:`~repro.netsim.costs.CostModel`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+from ..des import Process, Simulator
+from ..netsim import CostModel, Network
+from .groups import GroupRegistry
+from .task import NO_PARENT, Task, TaskContext, TaskKilled
+
+__all__ = ["MessagePassingSystem"]
+
+
+class MessagePassingSystem:
+    """PVM-flavoured message passing over a simulated network."""
+
+    #: Network port all task-to-task traffic uses.
+    port_name = "pvm"
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.sim: Simulator = network.sim
+        self.costs: CostModel = network.costs
+        self.groups = GroupRegistry(self.sim)
+        #: Messages that arrived for dead/unknown tasks.
+        self.dropped = 0
+        self._tasks: dict[int, Task] = {}
+        self._tids = itertools.count(1)
+        self._placement = itertools.cycle(network.host_names)
+        for host_name in network.host_names:
+            self.sim.process(self._delivery_daemon(host_name))
+
+    # -- task management -----------------------------------------------------
+
+    def spawn(
+        self,
+        behavior: Callable,
+        *args,
+        host: Optional[str] = None,
+        parent: int = NO_PARENT,
+    ) -> int:
+        """Start a task running ``behavior(ctx, *args)``; returns its tid.
+
+        This is the system-level entry point (no spawn cost charged);
+        tasks spawning other tasks should use
+        :meth:`~repro.mp.task.TaskContext.spawn`, which charges
+        ``mp_spawn_s`` per child.
+        """
+        host_name = host if host is not None else next(self._placement)
+        tid = next(self._tids)
+        task = Task(
+            tid, self.network.host(host_name), behavior.__name__, parent
+        )
+        self._tasks[tid] = task
+        context = TaskContext(self, task)
+        task.process = self.sim.process(
+            self._run_task(task, behavior, context, args)
+        )
+        return tid
+
+    def _run_task(self, task: Task, behavior, context, args):
+        from ..des import Interrupt
+
+        try:
+            result = yield from behavior(context, *args)
+            task.exit_value = result
+        except Interrupt as intr:
+            if not isinstance(intr.cause, TaskKilled):
+                raise
+            task.exit_value = None
+        finally:
+            task.exited = True
+        return task.exit_value
+
+    def task(self, tid: int) -> Task:
+        """Look up a task record by tid."""
+        try:
+            return self._tasks[tid]
+        except KeyError:
+            raise KeyError(f"unknown tid {tid}") from None
+
+    def kill(self, tid: int) -> None:
+        """Forcibly terminate a task (pvm_kill)."""
+        task = self.task(tid)
+        if task.exited:
+            return
+        task.exited = True
+        if task.process is not None and task.process.is_alive:
+            task.process.interrupt(TaskKilled())
+
+    @property
+    def live_tasks(self) -> list[Task]:
+        """Tasks that have not exited yet."""
+        return [t for t in self._tasks.values() if not t.exited]
+
+    def wait_for(self, tid: int):
+        """Event that fires when the task's behavior finishes."""
+        return self.task(tid).process
+
+    def run_until_task(self, tid: int) -> Any:
+        """Drive the simulation until task ``tid`` finishes."""
+        return self.sim.run(until=self.wait_for(tid))
+
+    # -- delivery ------------------------------------------------------------------
+
+    def _delivery_daemon(self, host_name: str):
+        """Route packets arriving at one host into task mailboxes.
+
+        A real pvmd demultiplexes incoming TCP/UDP traffic the same way.
+        Messages for dead or unknown tasks are dropped (with a counter),
+        as PVM drops mail for exited tasks.
+        """
+        port = self.network.host(host_name).port(self.port_name)
+        while True:
+            packet = yield port.get()
+            dst_tid, src_tid, tag, buf = packet.payload
+            task = self._tasks.get(dst_tid)
+            if task is None or task.exited:
+                self.dropped += 1
+                continue
+            yield task.mailbox.put((src_tid, tag, buf))
+
+    def __repr__(self) -> str:
+        return (
+            f"<MessagePassingSystem tasks={len(self._tasks)} "
+            f"live={len(self.live_tasks)}>"
+        )

@@ -1,0 +1,23 @@
+"""Simulated physical substrate: hosts, shared Ethernet, transport.
+
+This package replaces the paper's hardware (a LAN of SPARCstation 5s)
+with a deterministic model.  See DESIGN.md §2 for the substitution
+rationale and :mod:`repro.netsim.costs` for every calibration constant.
+"""
+
+from .costs import CacheModel, CostModel, DEFAULT_COSTS, sparc5_costs
+from .ethernet import EthernetSegment
+from .host import Host
+from .transport import Network, Packet, build_lan
+
+__all__ = [
+    "CacheModel",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "EthernetSegment",
+    "Host",
+    "Network",
+    "Packet",
+    "build_lan",
+    "sparc5_costs",
+]

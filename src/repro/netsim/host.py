@@ -1,0 +1,109 @@
+"""Simulated hosts: a CPU with a cache-aware cost model plus NIC queues.
+
+A :class:`Host` serializes computation on a single CPU resource; software
+layers (PVM tasks, MESSENGERS daemons) charge virtual time through
+:meth:`Host.compute` / :meth:`Host.busy`.  Delivery queues for the
+transport layer are per-(host, port) stores created on demand.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..des import Resource, Simulator, Store
+from .costs import CostModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .transport import Network
+
+__all__ = ["Host"]
+
+
+class Host:
+    """One machine of the simulated cluster.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    name:
+        Unique host name (also its network address).
+    costs:
+        The platform cost table.
+    cpu_scale:
+        Relative CPU speed (1.0 = the calibration baseline).  The paper's
+        matmul experiments used two generations of SPARCstation 5
+        (110 MHz vs 170 MHz); benchmarks express that here.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        costs: CostModel,
+        cpu_scale: float = 1.0,
+    ):
+        if cpu_scale <= 0:
+            raise ValueError(f"cpu_scale must be positive, got {cpu_scale}")
+        self.sim = sim
+        self.name = name
+        self.costs = costs
+        self.cpu_scale = cpu_scale
+        self.cpu = Resource(sim, capacity=1)
+        self.network: Optional["Network"] = None
+        self._ports: dict[str, Store] = {}
+        #: Accumulated busy time, for utilization reporting.
+        self.busy_seconds: float = 0.0
+
+    # -- CPU ------------------------------------------------------------------
+
+    def compute(self, flops: float, working_set_bytes: float = 0.0):
+        """Process generator: occupy the CPU for a computation.
+
+        Usage from another process::
+
+            yield sim.process(host.compute(1e6, working_set_bytes=8e6))
+        """
+        seconds = self.costs.compute_seconds(
+            flops, working_set_bytes, self.cpu_scale
+        )
+        return self.busy(seconds)
+
+    def busy(self, seconds: float):
+        """Process generator: occupy the CPU for a fixed duration."""
+        if seconds < 0:
+            raise ValueError(f"negative busy time {seconds}")
+
+        def _busy(sim):
+            req = self.cpu.request()
+            yield req
+            try:
+                yield sim.timeout(seconds)
+                self.busy_seconds += seconds
+            finally:
+                self.cpu.release(req)
+
+        return _busy(self.sim)
+
+    def compute_seconds(
+        self, flops: float, working_set_bytes: float = 0.0
+    ) -> float:
+        """The duration :meth:`compute` would charge (without running)."""
+        return self.costs.compute_seconds(
+            flops, working_set_bytes, self.cpu_scale
+        )
+
+    # -- NIC ports -----------------------------------------------------------
+
+    def port(self, name: str) -> Store:
+        """The delivery queue for service ``name`` on this host."""
+        if name not in self._ports:
+            self._ports[name] = Store(self.sim)
+        return self._ports[name]
+
+    @property
+    def port_names(self) -> list[str]:
+        return sorted(self._ports)
+
+    def __repr__(self) -> str:
+        return f"<Host {self.name} x{self.cpu_scale}>"

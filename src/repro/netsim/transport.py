@@ -1,0 +1,167 @@
+"""Message transport across the simulated cluster.
+
+The :class:`Network` connects :class:`~repro.netsim.host.Host` objects to
+one :class:`~repro.netsim.ethernet.EthernetSegment` and moves
+:class:`Packet` objects between named ports.  Both the PVM workalike and
+the MESSENGERS daemons are clients of this layer; the *difference* between
+them (buffer copies vs zero-copy migration) is charged by those layers,
+not here — the wire treats everyone equally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from ..des import Simulator, Store
+from .costs import CostModel, DEFAULT_COSTS
+from .ethernet import EthernetSegment
+from .host import Host
+
+__all__ = ["Packet", "Network", "build_lan"]
+
+
+@dataclass
+class Packet:
+    """One unit of delivery between host ports.
+
+    ``payload`` is an arbitrary Python object (never serialized for real —
+    cost is charged from ``size_bytes``).  ``send_time`` is stamped by the
+    network for latency accounting.
+    """
+
+    src: str
+    dst: str
+    port: str
+    payload: Any
+    size_bytes: int
+    send_time: float = field(default=0.0)
+
+    @property
+    def is_local(self) -> bool:
+        return self.src == self.dst
+
+
+class Network:
+    """Registry of hosts plus the shared segment connecting them."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        costs: CostModel = DEFAULT_COSTS,
+        segment: Optional[EthernetSegment] = None,
+    ):
+        self.sim = sim
+        self.costs = costs
+        self.segment = segment or EthernetSegment(sim, costs)
+        self._hosts: dict[str, Host] = {}
+        #: Count of delivered packets per (src, dst) pair.
+        self.delivered: int = 0
+
+    # -- topology ---------------------------------------------------------
+
+    def add_host(self, host: Host) -> Host:
+        """Attach ``host`` to this network and start its NIC TX pump.
+
+        Each host transmits through a single FIFO queue, so packets from
+        the same source are delivered in send order (the in-order
+        guarantee PVM and the MESSENGERS daemons both rely on).
+        """
+        if host.name in self._hosts:
+            raise ValueError(f"duplicate host name {host.name!r}")
+        self._hosts[host.name] = host
+        host.network = self
+        self.sim.process(self._tx_pump(host))
+        return host
+
+    def _tx_pump(self, host: Host):
+        """Serially drain ``host``'s outbound queue onto the wire."""
+        outbound = host.port("_tx")
+        while True:
+            packet, done = yield outbound.get()
+            yield self.sim.timeout(self.costs.endpoint_overhead_s)
+            if not packet.is_local:
+                yield self.sim.process(
+                    self.segment.transmit(packet.size_bytes)
+                )
+                yield self.sim.timeout(self.costs.endpoint_overhead_s)
+            queue = self._hosts[packet.dst].port(packet.port)
+            yield queue.put(packet)
+            self.delivered += 1
+            done.succeed(packet)
+
+    def host(self, name: str) -> Host:
+        """Look up a host by name."""
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise KeyError(f"unknown host {name!r}") from None
+
+    @property
+    def host_names(self) -> list[str]:
+        return sorted(self._hosts)
+
+    @property
+    def hosts(self) -> list[Host]:
+        return [self._hosts[name] for name in self.host_names]
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    # -- delivery ------------------------------------------------------------
+
+    def enqueue(self, packet: Packet):
+        """Hand ``packet`` to the source host's NIC; returns the event
+        that fires once the packet has been *delivered* at the far end.
+
+        Enqueueing itself is immediate — callers that want asynchronous
+        (PVM-style buffered) sends simply do not wait on the returned
+        event.  FIFO order per source host is guaranteed.
+        """
+        if packet.dst not in self._hosts:
+            raise KeyError(f"unknown destination host {packet.dst!r}")
+        if packet.src not in self._hosts:
+            raise KeyError(f"unknown source host {packet.src!r}")
+        packet.send_time = self.sim.now
+        done = self.sim.event()
+        self._hosts[packet.src].port("_tx").put((packet, done))
+        return done
+
+    def send(self, packet: Packet):
+        """Process generator: carry ``packet`` and wait for delivery."""
+        done = self.enqueue(packet)
+
+        def _send(sim):
+            yield done
+            return packet
+
+        return _send(self.sim)
+
+    def post(self, packet: Packet) -> None:
+        """Fire-and-forget delivery (never waits)."""
+        self.enqueue(packet)
+
+    def receive(self, host_name: str, port: str):
+        """Event: the next packet arriving at ``host_name``/``port``."""
+        return self._hosts[host_name].port(port).get()
+
+    def __repr__(self) -> str:
+        return f"<Network hosts={len(self._hosts)} delivered={self.delivered}>"
+
+
+def build_lan(
+    sim: Simulator,
+    n_hosts: int,
+    costs: CostModel = DEFAULT_COSTS,
+    cpu_scale: float = 1.0,
+    name_prefix: str = "host",
+) -> Network:
+    """Build the paper's platform: ``n_hosts`` workstations on one LAN."""
+    if n_hosts < 1:
+        raise ValueError(f"need at least one host, got {n_hosts}")
+    network = Network(sim, costs)
+    for index in range(n_hosts):
+        network.add_host(
+            Host(sim, f"{name_prefix}{index}", costs, cpu_scale=cpu_scale)
+        )
+    return network

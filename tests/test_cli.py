@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "12a"])
+        assert args.which == "12a"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "99"])
+
+
+class TestInfo:
+    def test_info_prints_version_and_costs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro 1.0.0" in out
+        assert "cpu_flops" in out
+        assert "interp_instr_s" in out
+
+
+class TestRun:
+    def test_run_script_file(self, tmp_path, capsys):
+        script = tmp_path / "hello.mcl"
+        script.write_text(
+            'f(n) { for (k = 0; k < n; k++) M_log("tick", k); }'
+        )
+        assert main(["run", str(script), "3", "--hosts", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "injected messenger" in out
+        assert out.count("log:") == 3
+        assert "host0" in out
+
+    def test_run_missing_file(self, capsys):
+        assert main(["run", "/does/not/exist.mcl"]) == 2
+        assert "no such script" in capsys.readouterr().err
+
+
+class TestFigure:
+    def test_figure_12a_prints_table(self, capsys):
+        assert main(["figure", "12a"]) == 0
+        out = capsys.readouterr().out
+        assert "block size" in out
+        assert "messengers" in out and "pvm" in out
+
+    def test_figure_7_prints_ratios(self, capsys):
+        assert main(["figure", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "ratio" in out

@@ -1,0 +1,73 @@
+"""Unit tests for the daemon network layer."""
+
+import pytest
+
+from repro.messengers import DaemonNetwork
+
+
+class TestConstruction:
+    def test_complete_graph(self):
+        net = DaemonNetwork.complete(["a", "b", "c"])
+        assert sorted(net.neighbors("a")) == ["b", "c"]
+        assert sorted(net.neighbors("b")) == ["a", "c"]
+        assert len(net) == 3
+
+    def test_ring(self):
+        net = DaemonNetwork.ring(["a", "b", "c", "d"])
+        assert sorted(net.neighbors("a")) == ["b", "d"]
+        assert sorted(net.neighbors("c")) == ["b", "d"]
+
+    def test_directed_ring(self):
+        net = DaemonNetwork.ring(["a", "b", "c"], directed=True)
+        assert net.matches("a", ddir="+") == ["b"]
+        assert net.matches("a", ddir="-") == ["c"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DaemonNetwork([])
+
+    def test_duplicate_names_deduplicated(self):
+        net = DaemonNetwork(["a", "a", "b"])
+        assert net.daemons == ["a", "b"]
+
+    def test_link_to_unknown_daemon_rejected(self):
+        net = DaemonNetwork(["a"])
+        with pytest.raises(KeyError):
+            net.add_link("a", "ghost")
+
+    def test_contains(self):
+        net = DaemonNetwork(["a"])
+        assert "a" in net
+        assert "z" not in net
+
+
+class TestMatching:
+    def test_wildcard_matches_neighbors_only(self):
+        net = DaemonNetwork(["a", "b", "c"])
+        net.add_link("a", "b")
+        assert net.matches("a") == ["b"]  # c is not a neighbor
+
+    def test_match_by_daemon_name(self):
+        net = DaemonNetwork.complete(["a", "b", "c"])
+        assert net.matches("a", dn="c") == ["c"]
+
+    def test_match_by_link_name(self):
+        net = DaemonNetwork(["a", "b", "c"])
+        net.add_link("a", "b", name="fast")
+        net.add_link("a", "c", name="slow")
+        assert net.matches("a", dl="fast") == ["b"]
+
+    def test_self_placement_allowed_by_name(self):
+        net = DaemonNetwork.complete(["a", "b"])
+        assert "a" in net.matches("a", dn="a")
+
+    def test_unknown_source_raises(self):
+        net = DaemonNetwork(["a"])
+        with pytest.raises(KeyError):
+            net.matches("ghost")
+
+    def test_no_duplicate_results_for_parallel_links(self):
+        net = DaemonNetwork(["a", "b"])
+        net.add_link("a", "b", name="l1")
+        net.add_link("a", "b", name="l2")
+        assert net.matches("a") == ["b"]

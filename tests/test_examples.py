@@ -1,0 +1,65 @@
+"""Smoke tests: every shipped example must run and produce its output.
+
+Examples are the public face of the library; these tests run each one
+in a subprocess (small parameters) and check its key output lines, so
+API drift can never silently break them.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr[-2000:]
+    return process.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "hello from host1" in out
+        assert "hello from host3" in out
+        assert "logical nodes" in out
+
+    def test_mandelbrot_comparison(self):
+        out = run_example("mandelbrot_comparison.py", "64", "3")
+        assert "identical images" in out
+        assert "MESSENGERS" in out and "PVM" in out
+        assert "@" in out  # the ASCII-art set
+
+    def test_matmul_virtual_time(self):
+        out = run_example("matmul_virtual_time.py", "60", "2")
+        assert "agree with numpy" in out
+        assert "GVT rounds" in out
+
+    def test_network_explorer(self):
+        out = run_example("network_explorer.py")
+        assert "distance 0" in out  # gateway
+        assert "distance 2" in out  # far buildings
+        assert "leader elected" in out
+
+    def test_timewarp_simulation(self):
+        out = run_example("timewarp_simulation.py")
+        assert "identical final states" in out
+        assert "PHOLD" in out
+
+    def test_shell_session(self):
+        out = run_example("shell_session.py")
+        assert "injected messenger" in out
+        assert "gvt=10" in out
+
+    def test_swarm_simulation(self):
+        out = run_example("swarm_simulation.py", "12")
+        assert "founders" in out
+        assert "grass remaining" in out

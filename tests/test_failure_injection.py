@@ -1,0 +1,192 @@
+"""Failure-injection tests: misbehaving scripts, natives and peers.
+
+The substrate must fail loudly and locally: a crashing Messenger is
+recorded and removed without corrupting daemons, the logical network,
+or other Messengers.
+"""
+
+import pytest
+
+from repro.des import Simulator
+from repro.netsim import build_lan
+from repro.messengers import MessengersSystem, UnknownNativeError
+from repro.messengers.mcl import MclRuntimeError
+from repro.mp import MessagePassingSystem, PackBuffer
+
+
+def make_system(n=2):
+    sim = Simulator()
+    return sim, MessengersSystem(build_lan(sim, n))
+
+
+class TestScriptFailures:
+    def test_native_exception_marks_messenger_failed(self):
+        sim, system = make_system()
+
+        @system.natives.register
+        def explode(env):
+            raise RuntimeError("native blew up")
+
+        messenger = system.inject("f() { explode(); }")
+        with pytest.raises(RuntimeError, match="blew up"):
+            system.run_to_quiescence()
+        assert not messenger.alive
+        assert (messenger, "failed") in system.finished
+
+    def test_unknown_native_is_reported(self):
+        sim, system = make_system()
+        system.inject("f() { never_registered(); }")
+        with pytest.raises(UnknownNativeError):
+            system.run_to_quiescence()
+
+    def test_runtime_error_in_script(self):
+        sim, system = make_system()
+        system.inject("f() { x = 1 / 0; }")
+        with pytest.raises(MclRuntimeError):
+            system.run_to_quiescence()
+
+    def test_failure_does_not_poison_other_messengers(self):
+        sim, system = make_system()
+        survived = []
+
+        @system.natives.register
+        def explode(env):
+            raise RuntimeError("boom")
+
+        @system.natives.register
+        def note(env):
+            survived.append(env.messenger.id)
+            return 0
+
+        bad = system.inject("bad() { explode(); }")
+        good = system.inject("good() { M_sched_time_dlt(1); note(); }")
+        with pytest.raises(RuntimeError):
+            system.run_to_quiescence()
+        # The failed messenger was unregistered from the active count,
+        # so the survivor can still be driven to completion.
+        system.run_to_quiescence()
+        assert survived == [good.id]
+        assert not bad.alive
+
+    def test_infinite_script_guard_fires(self):
+        sim, system = make_system()
+        system.inject("f() { while (1) x = 1; }")
+        with pytest.raises(MclRuntimeError, match="instructions"):
+            system.run_to_quiescence()
+
+    def test_daemon_survives_failure(self):
+        """After a script crash the daemon keeps serving new work."""
+        sim, system = make_system()
+
+        @system.natives.register
+        def explode(env):
+            raise ValueError("nope")
+
+        system.inject("bad() { explode(); }")
+        with pytest.raises(ValueError):
+            system.run_to_quiescence()
+
+        done = []
+
+        @system.natives.register
+        def ok(env):
+            done.append(True)
+            return 0
+
+        system.inject("fine() { ok(); }")
+        system.run_to_quiescence()
+        assert done == [True]
+
+
+class TestLostMessengers:
+    def test_all_replicas_lost_still_quiesces(self):
+        sim, system = make_system(3)
+        system.inject('f() { hop(ll = "ghost-link"); }')
+        system.run_to_quiescence()
+        assert system.active_count == 0
+        assert system.finished[-1][1] == "lost"
+
+    def test_partial_loss_after_replication(self):
+        """Replicas that find no onward match die; others continue."""
+        sim, system = make_system(3)
+        arrived = []
+
+        @system.natives.register
+        def mark(env):
+            arrived.append(env.daemon.name)
+            return 0
+
+        # Replicate to both relays; only host1's relay gets an onward
+        # link, so the replica at host2 is lost on the second hop.
+        system.inject(
+            """
+            builder() {
+                create(ln = "r1", "r2"; ll = "a", "a";
+                       dn = "host1", "host2");
+                if ($address == "host1") {
+                    create(ln = "goal"; ll = "b"; dn = "host1");
+                }
+            }
+            """,
+            daemon="host0",
+        )
+        system.run_to_quiescence()
+        system.inject(
+            """
+            traveller() {
+                hop(ll = "a");
+                hop(ll = "b");
+                mark();
+            }
+            """,
+            daemon="host0",
+        )
+        system.run_to_quiescence()
+        assert arrived == ["host1"]
+        lost = [fate for _m, fate in system.finished if fate == "lost"]
+        assert lost  # the builder's second create replica path
+
+
+class TestMessagePassingFailures:
+    def test_behavior_exception_surfaces(self):
+        sim = Simulator()
+        system = MessagePassingSystem(build_lan(sim, 2))
+
+        def bad(ctx):
+            yield from ctx.delay(0.1)
+            raise KeyError("task crashed")
+
+        tid = system.spawn(bad)
+        with pytest.raises(KeyError):
+            system.run_until_task(tid)
+        assert system.task(tid).exited
+
+    def test_send_to_never_existing_tid(self):
+        sim = Simulator()
+        system = MessagePassingSystem(build_lan(sim, 1))
+
+        def sender(ctx):
+            with pytest.raises(KeyError):
+                yield from ctx.send(999, PackBuffer().pack_int(1))
+
+        tid = system.spawn(sender)
+        system.run_until_task(tid)
+
+    def test_kill_storm(self):
+        """Killing many blocked tasks leaves the system consistent."""
+        sim = Simulator()
+        system = MessagePassingSystem(build_lan(sim, 2))
+
+        def blocked(ctx):
+            yield from ctx.recv()
+
+        def killer(ctx, victims):
+            yield from ctx.delay(0.5)
+            for victim in victims:
+                ctx.kill(victim)
+
+        victims = [system.spawn(blocked) for _ in range(8)]
+        tid = system.spawn(killer, victims)
+        system.run_until_task(tid)
+        sim.run()
+        assert not system.live_tasks

@@ -1,0 +1,179 @@
+"""Tests for MCL subscripting (arrays/dicts) and container natives."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.netsim import build_lan
+from repro.messengers import MessengersSystem
+from repro.messengers.mcl import (
+    CompileError,
+    DoneCommand,
+    Frame,
+    MclRuntimeError,
+    compile_source,
+    run,
+)
+from repro.messengers.natives import NativeRegistry
+
+
+def execute(source, mvars=None):
+    registry = NativeRegistry()
+    program = compile_source(source)
+    frame = Frame(program)
+    variables = mvars if mvars is not None else {}
+
+    def call(name, args):
+        return registry.lookup(name)(None, *args)
+
+    command = run(frame, variables, {}, lambda n: None, call)
+    assert isinstance(command, DoneCommand)
+    return variables
+
+
+class TestIndexing:
+    def test_read_and_write(self):
+        mvars = execute(
+            """
+            f() {
+                arr = list_new(4, 0);
+                arr[0] = 10;
+                arr[3] = 40;
+                a = arr[0];
+                b = arr[3];
+                n = len(arr);
+            }
+            """
+        )
+        assert mvars["arr"] == [10, 0, 0, 40]
+        assert (mvars["a"], mvars["b"], mvars["n"]) == (10, 40, 4)
+
+    def test_augmented_index_assignment(self):
+        mvars = execute(
+            """
+            f() {
+                arr = list_new(3, 5);
+                arr[1] += 2;
+                arr[2] *= 3;
+                arr[0] -= 1;
+            }
+            """
+        )
+        assert mvars["arr"] == [4, 7, 15]
+
+    def test_loop_building_histogram(self):
+        mvars = execute(
+            """
+            f() {
+                hist = list_new(4, 0);
+                for (k = 0; k < 12; k++) {
+                    hist[k mod 4] += 1;
+                }
+            }
+            """
+        )
+        assert mvars["hist"] == [3, 3, 3, 3]
+
+    def test_nested_subscripts(self):
+        mvars = execute(
+            """
+            f(matrix) {
+                value = matrix[1][0];
+            }
+            """,
+            mvars={"matrix": [[1, 2], [3, 4]]},
+        )
+        assert mvars["value"] == 3
+
+    def test_float_index_coerced(self):
+        mvars = execute(
+            """
+            f() {
+                arr = list_new(4, 9);
+                half = 4 / 2;
+                x = arr[half];
+            }
+            """
+        )
+        assert mvars["x"] == 9
+
+    def test_index_in_expression_context(self):
+        mvars = execute(
+            """
+            f(data) {
+                total = data[0] + data[1] * 2;
+            }
+            """,
+            mvars={"data": [3, 4]},
+        )
+        assert mvars["total"] == 11
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(MclRuntimeError):
+            execute("f() { arr = list_new(2, 0); x = arr[5]; }")
+
+    def test_store_out_of_range_raises(self):
+        with pytest.raises(MclRuntimeError):
+            execute("f() { arr = list_new(2, 0); arr[5] = 1; }")
+
+    def test_append_native(self):
+        mvars = execute(
+            """
+            f() {
+                arr = list_new(0, 0);
+                append(arr, 7);
+                append(arr, 8);
+                n = len(arr);
+                last = arr[n - 1];
+            }
+            """
+        )
+        assert mvars["arr"] == [7, 8]
+        assert mvars["last"] == 8
+
+    def test_string_subscript(self):
+        mvars = execute('f() { s = "hop"; c = s[1]; }')
+        assert mvars["c"] == "o"
+
+
+class TestIndexingAcrossHops:
+    def test_array_travels_and_diverges(self):
+        """Messenger variables holding lists deep-copy on replication."""
+        sim = Simulator()
+        system = MessengersSystem(build_lan(sim, 3))
+        seen = []
+
+        @system.natives.register
+        def report(env, arr):
+            seen.append(list(arr))
+            return 0
+
+        system.inject(
+            """
+            f() {
+                arr = list_new(2, 0);
+                arr[0] = 1;
+                create(ALL);
+                if ($address == "host1") arr[1] = 11;
+                if ($address == "host2") arr[1] = 22;
+                report(arr);
+            }
+            """,
+            daemon="host0",
+        )
+        system.run_to_quiescence()
+        assert sorted(seen) == [[1, 11], [1, 22]]
+
+    def test_node_variable_array_shared(self):
+        sim = Simulator()
+        system = MessengersSystem(build_lan(sim, 1))
+
+        system.inject(
+            """
+            w1() { node log; log = list_new(0, 0); append(log, 1); }
+            """
+        )
+        system.run_to_quiescence()
+        system.inject("w2() { node log; append(log, 2); }")
+        system.run_to_quiescence()
+        init = system.daemon("host0").init_node
+        assert init.variables["log"] == [1, 2]

@@ -1,0 +1,438 @@
+"""Integration tests: Messengers navigating, replicating, coordinating."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.netsim import CostModel, build_lan
+from repro.messengers import DaemonNetwork, MessengersSystem
+
+
+def make_system(n_hosts=4, daemon_graph=None, costs=None):
+    sim = Simulator()
+    network = build_lan(sim, n_hosts, costs or CostModel())
+    system = MessengersSystem(network, daemon_graph=daemon_graph)
+    return sim, system
+
+
+class TestStartup:
+    def test_init_node_on_every_daemon(self):
+        _sim, system = make_system(3)
+        for name in system.daemon_names:
+            inits = system.logical.find_named("init", daemon=name)
+            assert len(inits) == 1
+
+    def test_daemon_graph_defaults_to_complete(self):
+        _sim, system = make_system(3)
+        assert sorted(system.daemon_graph.neighbors("host0")) == [
+            "host1",
+            "host2",
+        ]
+
+    def test_daemon_graph_host_validation(self):
+        sim = Simulator()
+        network = build_lan(sim, 2)
+        bad_graph = DaemonNetwork.complete(["host0", "ghost"])
+        with pytest.raises(KeyError):
+            MessengersSystem(network, daemon_graph=bad_graph)
+
+
+class TestInjection:
+    def test_argument_binding(self):
+        _sim, system = make_system(1)
+        seen = {}
+
+        @system.natives.register
+        def report(env, a, b):
+            seen.update(a=a, b=b)
+            return 0
+
+        system.inject("f(a, b) { report(a, b); }", args=(7, "x"))
+        system.run_to_quiescence()
+        assert seen == {"a": 7, "b": "x"}
+
+    def test_wrong_arity_rejected(self):
+        _sim, system = make_system(1)
+        with pytest.raises(TypeError):
+            system.inject("f(a) { x = a; }", args=())
+
+    def test_unknown_daemon_rejected(self):
+        _sim, system = make_system(1)
+        with pytest.raises(KeyError):
+            system.inject("f() { x = 1; }", daemon="ghost")
+
+    def test_unknown_node_rejected(self):
+        _sim, system = make_system(1)
+        with pytest.raises(KeyError):
+            system.inject("f() { x = 1; }", node="nowhere")
+
+    def test_program_cache_reuse(self):
+        _sim, system = make_system(1)
+        p1 = system.compile("f() { x = 1; }")
+        p2 = system.compile("f() { x = 1; }")
+        assert p1 is p2
+
+
+class TestNavigation:
+    def test_create_all_replicates_to_neighbors(self):
+        _sim, system = make_system(4)
+        visited = []
+
+        @system.natives.register
+        def mark(env):
+            visited.append(env.daemon.name)
+            return 0
+
+        system.inject("f() { create(ALL); mark(); }", daemon="host0")
+        system.run_to_quiescence()
+        assert sorted(visited) == ["host1", "host2", "host3"]
+        # init(host0) + 3 inits + 3 created nodes
+        assert system.logical.node_count() == 4 + 3
+
+    def test_hop_back_along_last_link(self):
+        _sim, system = make_system(2)
+        trail = []
+
+        @system.natives.register
+        def mark(env):
+            trail.append(env.daemon.name)
+            return 0
+
+        system.inject(
+            "f() { create(ALL); mark(); hop(ll = $last); mark(); }",
+            daemon="host0",
+        )
+        system.run_to_quiescence()
+        assert trail == ["host1", "host0"]
+
+    def test_hop_with_no_match_loses_messenger(self):
+        _sim, system = make_system(1)
+        system.inject('f() { hop(ll = "nonexistent"); }')
+        system.run_to_quiescence()
+        assert system.finished[-1][1] == "lost"
+        stats = system.daemon("host0").stats
+        assert stats.messengers_lost == 1
+
+    def test_multi_item_create_replicates(self):
+        _sim, system = make_system(3)
+        visits = []
+
+        @system.natives.register
+        def mark(env):
+            visits.append((env.node.name, env.daemon.name))
+            return 0
+
+        system.inject(
+            """
+            f() {
+                create(ln = "a", "b"; ll = "spoke", "spoke";
+                       dn = "host1", "host2");
+                mark();
+            }
+            """,
+            daemon="host0",
+        )
+        system.run_to_quiescence()
+        assert sorted(visits) == [("a", "host1"), ("b", "host2")]
+
+    def test_hop_replication_over_multiple_links(self):
+        """The persistent star built by one Messenger is navigated by a
+        second one injected later — logical-network persistence (§1)."""
+        _sim, system = make_system(3)
+        visits = []
+
+        @system.natives.register
+        def mark(env):
+            visits.append(env.node.name)
+            return 0
+
+        system.inject(
+            """
+            builder() {
+                create(ln = "a", "b"; ll = "spoke", "spoke";
+                       dn = "host1", "host2");
+            }
+            """,
+            daemon="host0",
+        )
+        system.run_to_quiescence()
+
+        system.inject(
+            'explorer() { hop(ll = "spoke"); mark(); }', daemon="host0"
+        )
+        system.run_to_quiescence()
+        assert sorted(visits) == ["a", "b"]
+
+    def test_virtual_hop_to_init(self):
+        _sim, system = make_system(2)
+        places = []
+
+        @system.natives.register
+        def mark(env):
+            places.append((env.node.name, env.daemon.name))
+            return 0
+
+        system.inject(
+            "f() { create(ALL); hop(ln = init; ll = virtual); mark(); }",
+            daemon="host0",
+        )
+        system.run_to_quiescence()
+        # From the created node on host1, virtual-hopping to "init"
+        # replicates to BOTH init nodes (they share the name).
+        assert sorted(places) == [("init", "host0"), ("init", "host1")]
+
+    def test_delete_removes_scaffolding(self):
+        _sim, system = make_system(2)
+        system.inject(
+            """
+            f() {
+                create(ln = "work"; ll = "tmp");
+                delete(ll = "tmp");
+            }
+            """,
+            daemon="host0",
+        )
+        system.run_to_quiescence()
+        assert system.logical.find_named("work") == []
+        deleted = sum(
+            d.stats.links_deleted for d in system.daemons.values()
+        )
+        assert deleted == 1
+        # The init node survives singleton collection.
+        assert system.logical.find_named("init", daemon="host0")
+
+    def test_directed_create_and_hop(self):
+        _sim, system = make_system(1)
+        order = []
+
+        @system.natives.register
+        def mark(env, tag):
+            order.append(tag)
+            return 0
+
+        system.inject(
+            """
+            f() {
+                create(ln = "down"; ll = "col"; ldir = +; dn = "host0");
+                mark("at-down");
+                hop(ll = "col"; ldir = -);
+                mark("back-up");
+                hop(ll = "col"; ldir = -);
+            }
+            """,
+            daemon="host0",
+        )
+        system.run_to_quiescence()
+        assert order == ["at-down", "back-up"]
+        # Final hop tried to go backward from the link's source: lost.
+        assert system.finished[-1][1] == "lost"
+
+
+class TestNodeVariables:
+    def test_shared_between_messengers(self):
+        _sim, system = make_system(1)
+
+        system.inject("w1() { node counter; counter = 10; }")
+        system.run_to_quiescence()
+        result = {}
+
+        @system.natives.register
+        def read(env, value):
+            result["counter"] = value
+            return 0
+
+        system.inject("w2() { node counter; counter += 5; read(counter); }")
+        system.run_to_quiescence()
+        assert result["counter"] == 15
+
+    def test_messenger_vars_are_private(self):
+        _sim, system = make_system(2)
+        values = []
+
+        @system.natives.register
+        def observe(env, x):
+            values.append(x)
+            return 0
+
+        # Each replica mutates its own copy of x.
+        system.inject(
+            """
+            f() {
+                x = 1;
+                create(ALL);
+                x = x + 1;
+                observe(x);
+            }
+            """,
+            daemon="host0",
+        )
+        system.run_to_quiescence()
+        assert values == [2]
+
+    def test_netvars(self):
+        _sim, system = make_system(2)
+        seen = {}
+
+        @system.natives.register
+        def snap(env, addr, node_name, vt):
+            seen.update(addr=addr, node=node_name, vt=vt)
+            return 0
+
+        system.inject(
+            "f() { snap($address, $node, $time); }", daemon="host1"
+        )
+        system.run_to_quiescence()
+        assert seen == {"addr": "host1", "node": "init", "vt": 0.0}
+
+    def test_unknown_netvar_raises(self):
+        _sim, system = make_system(1)
+        system.inject("f() { x = $bogus; }")
+        with pytest.raises(Exception):
+            system.run_to_quiescence()
+
+
+class TestCostAccounting:
+    def test_remote_hop_charges_wire_time(self):
+        costs = CostModel()
+        _sim, system = make_system(2, costs=costs)
+        big = [0.0] * 10_000  # ~80 kB messenger variable
+
+        @system.natives.register
+        def load_payload(env):
+            env.msgr_vars["payload"] = list(big)
+            return 0
+
+        system.inject(
+            "f() { load_payload(); create(ALL); }", daemon="host0"
+        )
+        elapsed = system.run_to_quiescence()
+        # moving ~80kB over a ~1MB/s wire takes >= 0.08 virtual seconds
+        assert elapsed > 0.05
+
+    def test_interpretation_cost_scales_with_instructions(self):
+        costs = CostModel()
+        sim_a, system_a = make_system(1, costs=costs)
+        system_a.inject("f() { for (i = 0; i < 10; i++) x = i; }")
+        short = system_a.run_to_quiescence()
+
+        sim_b, system_b = make_system(1, costs=costs)
+        system_b.inject("f() { for (i = 0; i < 1000; i++) x = i; }")
+        long = system_b.run_to_quiescence()
+        assert long > short * 10
+
+    def test_stats_collected(self):
+        _sim, system = make_system(2)
+        system.inject("f() { create(ALL); hop(ll = $last); }")
+        system.run_to_quiescence()
+        d0 = system.daemon("host0").stats
+        d1 = system.daemon("host1").stats
+        assert d1.nodes_created == 1
+        assert d0.arrivals >= 1
+        assert system.total_instructions() > 0
+
+
+class TestVirtualTime:
+    def test_alternating_ticks(self):
+        _sim, system = make_system(2)
+        order = []
+
+        @system.natives.register
+        def mark(env, who, k):
+            order.append((who, k, env.vt))
+            return 0
+
+        script = """
+        ticker(who, offset, n) {
+            for (k = 0; k < n; k++) {
+                M_sched_time_abs(k + offset);
+                mark(who, k);
+            }
+        }
+        """
+        system.inject(script, args=("A", 0.0, 3), daemon="host0")
+        system.inject(script, args=("B", 0.5, 3), daemon="host1")
+        system.run_to_quiescence()
+        assert [(who, k) for who, k, _vt in order] == [
+            ("A", 0),
+            ("B", 0),
+            ("A", 1),
+            ("B", 1),
+            ("A", 2),
+            ("B", 2),
+        ]
+        assert system.vtime.gvt == 2.5
+
+    def test_sched_dlt_accumulates(self):
+        _sim, system = make_system(1)
+        times = []
+
+        @system.natives.register
+        def mark(env):
+            times.append(env.vt)
+            return 0
+
+        system.inject(
+            """
+            f() {
+                M_sched_time_dlt(1.5);
+                mark();
+                M_sched_time_dlt(1.5);
+                mark();
+            }
+            """
+        )
+        system.run_to_quiescence()
+        assert times == [1.5, 3.0]
+
+    def test_sched_into_past_runs_immediately(self):
+        _sim, system = make_system(1)
+        times = []
+
+        @system.natives.register
+        def mark(env):
+            times.append(env.vt)
+            return 0
+
+        system.inject(
+            """
+            f() {
+                M_sched_time_abs(2);
+                mark();
+                M_sched_time_abs(1);
+                mark();
+            }
+            """
+        )
+        system.run_to_quiescence()
+        assert times == [2.0, 2.0]
+
+    def test_rounds_charge_wallclock_time(self):
+        _sim, system = make_system(4)
+        system.inject("f() { M_sched_time_abs(5); }")
+        elapsed = system.run_to_quiescence()
+        assert system.vtime.rounds == 1
+        assert elapsed >= system.costs.gvt_round_s * 4
+
+    def test_barrier_pattern(self):
+        """GVT as a general synchronization primitive (paper §5)."""
+        _sim, system = make_system(3)
+        phases = []
+
+        @system.natives.register
+        def phase(env, who, name):
+            phases.append((name, who))
+            return 0
+
+        script = """
+        worker(who, work) {
+            phase(who, "before");
+            M_sched_time_abs(1);
+            phase(who, "after");
+        }
+        """
+        for index, name in enumerate("abc"):
+            system.inject(
+                script, args=(name, index), daemon=f"host{index}"
+            )
+        system.run_to_quiescence()
+        names = [name for name, _who in phases]
+        assert names == ["before"] * 3 + ["after"] * 3

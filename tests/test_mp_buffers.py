@@ -1,0 +1,91 @@
+"""Unit tests for PVM-style pack/unpack buffers and size estimation."""
+
+import numpy as np
+import pytest
+
+from repro.mp import PackBuffer, UnpackBuffer, estimate_size
+
+
+class TestEstimateSize:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, 0),
+            (True, 1),
+            (7, 8),
+            (3.14, 8),
+            (b"abcd", 4),
+            ("hello", 5),
+            ([1, 2, 3], 24),
+            ((1.0, 2.0), 16),
+            ({"a": 1}, 9),
+        ],
+    )
+    def test_scalars_and_containers(self, value, expected):
+        assert estimate_size(value) == expected
+
+    def test_numpy_array(self):
+        array = np.zeros((10, 10), dtype=np.float64)
+        assert estimate_size(array) == 800
+
+    def test_numpy_scalar(self):
+        assert estimate_size(np.float32(1.0)) == 4
+
+    def test_opaque_object(self):
+        class Thing:
+            pass
+
+        assert estimate_size(Thing()) == 16
+
+
+class TestPackBuffer:
+    def test_counts_bytes(self):
+        buf = PackBuffer()
+        buf.pack_int(1).pack_double(2.0).pack_string("abc")
+        # 8 + 8 + (3 + 8 length header)
+        assert buf.nbytes == 27
+        assert len(buf) == 3
+
+    def test_pack_array_charges_nbytes(self):
+        buf = PackBuffer()
+        buf.pack_array(np.ones(100, dtype=np.float64))
+        assert buf.nbytes == 800
+
+    def test_pack_ints(self):
+        buf = PackBuffer()
+        buf.pack_ints([1, 2, 3, 4])
+        assert buf.nbytes == 32
+
+    def test_pack_bytes(self):
+        buf = PackBuffer()
+        buf.pack_bytes(b"\x00" * 64)
+        assert buf.nbytes == 64
+
+
+class TestUnpackBuffer:
+    def test_round_trip_in_order(self):
+        buf = PackBuffer()
+        buf.pack_int(42)
+        buf.pack_double(2.5)
+        buf.pack_string("msg")
+        buf.pack_array(np.arange(3))
+        out = UnpackBuffer(buf.items, buf.nbytes)
+        assert out.unpack_int() == 42
+        assert out.unpack_double() == 2.5
+        assert out.unpack_string() == "msg"
+        assert list(out.unpack_array()) == [0, 1, 2]
+        assert out.remaining == 0
+
+    def test_unpack_past_end_raises(self):
+        buf = PackBuffer().pack_int(1)
+        out = UnpackBuffer(buf.items, buf.nbytes)
+        out.unpack_int()
+        with pytest.raises(IndexError):
+            out.unpack_int()
+
+    def test_remaining(self):
+        buf = PackBuffer().pack_int(1).pack_int(2)
+        out = UnpackBuffer(buf.items, buf.nbytes)
+        assert out.remaining == 2
+        out.unpack_int()
+        assert out.remaining == 1

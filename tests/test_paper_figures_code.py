@@ -1,0 +1,135 @@
+"""Golden tests: the paper's code listings run verbatim.
+
+Figures 3 and 11 are the paper's MESSENGERS programs.  These tests pin
+their exact MCL text (as shipped in ``repro.apps``) and check the
+properties the paper states about them — so any change to the scripts
+or to language semantics that would desynchronize us from the paper
+fails loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.mandelbrot import MANAGER_WORKER_SCRIPT
+from repro.apps.matmul import DISTRIBUTE_A_SCRIPT, ROTATE_B_SCRIPT
+from repro.des import Simulator
+from repro.messengers import MessengersSystem, build_grid, grid_node_name
+from repro.messengers.mcl import compile_source
+from repro.netsim import build_lan
+
+
+class TestFigure3Script:
+    def test_compiles_with_no_parameters(self):
+        program = compile_source(MANAGER_WORKER_SCRIPT)
+        assert program.name == "manager_worker"
+        assert program.params == []
+
+    def test_structure_matches_figure_3(self):
+        """create(ALL), hop($last), and the while-loop with three
+        statements — the 8 effective lines of Figure 3."""
+        ops = [
+            instr.op
+            for instr in compile_source(MANAGER_WORKER_SCRIPT).instructions
+        ]
+        assert ops.count("CREATE") == 1
+        assert ops.count("HOP") == 3  # initial return + 2 in the loop
+        assert ops.count("SCHED") == 0  # no virtual time in Figure 3
+
+    def test_no_explicit_synchronization(self):
+        """'no explicit synchronization is needed' (§3.1): the script
+        contains no locks, barriers, or sched calls — coordination is
+        entirely the non-preemptive scheduler + navigation."""
+        source = MANAGER_WORKER_SCRIPT.lower()
+        for forbidden in ("lock", "barrier", "m_sched", "wait"):
+            assert forbidden not in source
+
+
+class TestFigure11Scripts:
+    def test_parameters_match_figure_11(self):
+        dist = compile_source(DISTRIBUTE_A_SCRIPT)
+        rot = compile_source(ROTATE_B_SCRIPT)
+        assert dist.params == ["s", "m", "i", "j"]
+        assert rot.params == ["s", "m", "i", "j"]
+
+    def test_node_variable_declarations(self):
+        dist = compile_source(DISTRIBUTE_A_SCRIPT)
+        rot = compile_source(ROTATE_B_SCRIPT)
+        assert dist.node_vars == frozenset({"resid_A", "curr_A"})
+        assert rot.node_vars == frozenset({"resid_B", "curr_A", "C"})
+
+    def test_distribute_wakes_on_integer_ticks(self):
+        """(j - i) mod m lands on 0..m-1 — full ticks."""
+        sim = Simulator()
+        system = MessengersSystem(build_lan(sim, 4))
+        build_grid(system, 2)
+        wakes = []
+
+        @system.natives.register
+        def copy_block(env, block):
+            if env.messenger.hops == 0:  # the at-home copy of resid_A
+                wakes.append((env.node.name, env.vt))
+            return block
+
+        for i in range(2):
+            for j in range(2):
+                node = grid_node_name(i, j)
+                daemon = system.logical.find_named(node)[0].daemon
+                system.logical.find_named(node)[0].variables[
+                    "resid_A"
+                ] = np.zeros((2, 2))
+                system.inject(
+                    DISTRIBUTE_A_SCRIPT,
+                    args=(2, 2, i, j),
+                    daemon=daemon,
+                    node=node,
+                )
+        system.run_to_quiescence()
+        first_wakes = {}
+        for name, vt in wakes:
+            first_wakes.setdefault(name, vt)
+        # diagonal (0,0),(1,1) at tick 0; (0,1),(1,0) at tick 1
+        assert first_wakes["0,0"] == 0.0
+        assert first_wakes["1,1"] == 0.0
+        assert first_wakes["0,1"] == 1.0
+        assert first_wakes["1,0"] == 1.0
+
+    def test_rotation_direction_is_upward(self):
+        """rotate_B hops ldir=+ along 'column', i.e. toward row i-1 —
+        Figure 8(b)'s upward circular shift."""
+        sim = Simulator()
+        system = MessengersSystem(build_lan(sim, 4))
+        build_grid(system, 3)
+        path = []
+
+        @system.natives.register
+        def mark(env):
+            path.append(env.node.name)
+            return 0
+
+        system.inject(
+            """
+            walk() {
+                mark();
+                hop(ll = "column"; ldir = +);
+                mark();
+                hop(ll = "column"; ldir = +);
+                mark();
+            }
+            """,
+            node=grid_node_name(2, 0),
+            daemon=system.logical.find_named(grid_node_name(2, 0))[0].daemon,
+        )
+        system.run_to_quiescence()
+        assert path == ["2,0", "1,0", "0,0"]
+
+    def test_alternation_claim(self):
+        """'the two Messengers distribute_A and rotate_B always
+        alternate between their respective executions' (§3.2)."""
+        from repro.apps.matmul import make_matrices, run_messengers
+
+        a, b = make_matrices(12)
+        result = run_messengers(a, b, 2)
+        assert np.allclose(result.c, a @ b)
+        # m=2: ticks 0, 0.5, 1, 1.5 -> 4 GVT advances minus the free
+        # tick-0 start.
+        assert result.gvt_rounds == 3

@@ -1,0 +1,167 @@
+"""Property-based tests: buffers, logical network, system determinism."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.des import Simulator
+from repro.messengers import LogicalNetwork, MessengersSystem
+from repro.mp import PackBuffer, UnpackBuffer, estimate_size
+from repro.netsim import build_lan
+
+
+class TestBufferProperties:
+    @given(
+        ints=st.lists(st.integers(min_value=-2**40, max_value=2**40),
+                      max_size=10),
+        doubles=st.lists(
+            st.floats(allow_nan=False, allow_infinity=False), max_size=10
+        ),
+        strings=st.lists(
+            st.text(
+                alphabet=st.characters(codec="utf-8",
+                                       blacklist_categories=("Cs",)),
+                max_size=20,
+            ),
+            max_size=5,
+        ),
+    )
+    def test_pack_unpack_round_trip(self, ints, doubles, strings):
+        buf = PackBuffer()
+        for value in ints:
+            buf.pack_int(value)
+        for value in doubles:
+            buf.pack_double(value)
+        for value in strings:
+            buf.pack_string(value)
+        out = UnpackBuffer(buf.items, buf.nbytes)
+        assert [out.unpack_int() for _ in ints] == ints
+        assert [out.unpack_double() for _ in doubles] == doubles
+        assert [out.unpack_string() for _ in strings] == strings
+        assert out.remaining == 0
+
+    @given(
+        shape=st.tuples(
+            st.integers(min_value=1, max_value=20),
+            st.integers(min_value=1, max_value=20),
+        ),
+    )
+    def test_array_bytes_charged_exactly(self, shape):
+        array = np.zeros(shape)
+        buf = PackBuffer()
+        buf.pack_array(array)
+        assert buf.nbytes == array.nbytes
+
+    @given(
+        payload=st.recursive(
+            st.one_of(
+                st.integers(), st.floats(allow_nan=False), st.text(),
+                st.binary(), st.none(), st.booleans(),
+            ),
+            lambda children: st.one_of(
+                st.lists(children, max_size=4),
+                st.dictionaries(st.text(max_size=5), children, max_size=4),
+            ),
+            max_leaves=15,
+        )
+    )
+    def test_estimate_size_is_nonnegative_and_additive(self, payload):
+        size = estimate_size(payload)
+        assert size >= 0
+        assert estimate_size([payload, payload]) == 2 * size
+
+
+class TestLogicalNetworkProperties:
+    @given(
+        edges=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=8),
+                st.integers(min_value=0, max_value=8),
+            ),
+            max_size=20,
+        )
+    )
+    def test_match_moves_subset_of_neighbors(self, edges):
+        net = LogicalNetwork()
+        nodes = {k: net.create_node(f"n{k}", "host0") for k in range(9)}
+        for a, b in edges:
+            if a != b:
+                net.create_link("e", nodes[a], nodes[b])
+        for node in nodes.values():
+            moves = net.match_moves(node)
+            neighbors = set(map(id, node.neighbors()))
+            assert all(id(far) in neighbors for _link, far in moves)
+            assert len(moves) == node.degree() - sum(
+                1 for link in node.links if link.other(node) is node
+            )
+
+    @given(
+        chain_length=st.integers(min_value=2, max_value=10),
+    )
+    def test_deleting_chain_collects_everything(self, chain_length):
+        net = LogicalNetwork()
+        nodes = [
+            net.create_node(f"c{k}", "host0") for k in range(chain_length)
+        ]
+        links = [
+            net.create_link("l", nodes[k], nodes[k + 1])
+            for k in range(chain_length - 1)
+        ]
+        for link in links:
+            net.delete_link(link)
+        assert net.node_count() == 0
+
+
+class TestSystemDeterminism:
+    @given(
+        n_hosts=st.integers(min_value=2, max_value=5),
+        n_tasks=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_manager_worker_is_deterministic(self, n_hosts, n_tasks):
+        """Identical runs commit identical results at identical times."""
+
+        def one_run():
+            sim = Simulator()
+            system = MessengersSystem(build_lan(sim, n_hosts))
+            results = []
+            tasks = list(range(1, n_tasks + 1))
+            central = system.daemon("host0").init_node
+            central.variables["tasks"] = tasks
+
+            @system.natives.register
+            def next_task(env):
+                queue = env.node_vars["tasks"]
+                return queue.pop(0) if queue else 0
+
+            @system.natives.register
+            def compute(env, task):
+                env.charge_flops(task * 1e5)
+                return task * task
+
+            @system.natives.register
+            def deposit(env, res):
+                results.append(res)
+                return 0
+
+            system.inject(
+                """
+                mw() {
+                    create(ALL);
+                    hop(ll = $last);
+                    while ((task = next_task()) != 0) {
+                        hop(ll = $last);
+                        res = compute(task);
+                        hop(ll = $last);
+                        deposit(res);
+                    }
+                }
+                """
+            )
+            elapsed = system.run_to_quiescence()
+            return results, elapsed
+
+        results_a, elapsed_a = one_run()
+        results_b, elapsed_b = one_run()
+        assert results_a == results_b
+        assert elapsed_a == elapsed_b
+        assert sorted(results_a) == [k * k for k in range(1, n_tasks + 1)]

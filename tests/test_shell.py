@@ -1,0 +1,108 @@
+"""Unit tests for the MESSENGERS command shell."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.netsim import build_lan
+from repro.messengers import MessengersSystem, Shell, ShellError
+
+
+@pytest.fixture
+def shell():
+    sim = Simulator()
+    system = MessengersSystem(build_lan(sim, 3))
+    return Shell(system)
+
+
+class TestBasics:
+    def test_empty_and_comment_lines(self, shell):
+        assert shell.execute("") == ""
+        assert shell.execute("# a comment") == ""
+
+    def test_unknown_command(self, shell):
+        with pytest.raises(ShellError, match="unknown command"):
+            shell.execute("frobnicate")
+
+    def test_help_lists_commands(self, shell):
+        text = shell.execute("help")
+        assert "inject" in text and "stats" in text
+
+
+class TestInjection:
+    def test_inline_injection_and_run(self, shell):
+        out = shell.execute('inject! { f() { create(ALL); } }')
+        assert "injected messenger #" in out
+        out = shell.execute("run")
+        assert "quiescent" in out
+        assert shell.system.logical.node_count() == 3 + 2
+
+    def test_inline_injection_with_args(self, shell):
+        seen = []
+
+        @shell.system.natives.register
+        def note(env, a, b):
+            seen.append((a, b))
+            return 0
+
+        shell.execute('inject! { f(a, b) { note(a, b); } } 3 word')
+        shell.execute("run")
+        assert seen == [(3, "word")]
+
+    def test_inject_from_file(self, shell, tmp_path):
+        script = tmp_path / "hello.mcl"
+        script.write_text("f() { create(ALL); }")
+        out = shell.execute(f"inject {script}")
+        assert "injected" in out
+
+    def test_inject_missing_file(self, shell):
+        with pytest.raises(ShellError, match="no such script"):
+            shell.execute("inject /nonexistent/path.mcl")
+
+    def test_malformed_inline(self, shell):
+        with pytest.raises(ShellError):
+            shell.execute("inject! no braces")
+
+    def test_at_switches_daemon(self, shell):
+        assert "host2" in shell.execute("at host2")
+        shell.execute('inject! { f() { x = 1; } }')
+        shell.execute("run")
+        assert shell.system.daemon("host2").stats.executed_slices == 1
+
+    def test_at_unknown_daemon(self, shell):
+        with pytest.raises(ShellError):
+            shell.execute("at nowhere")
+
+
+class TestInspection:
+    def test_nodes_listing(self, shell):
+        out = shell.execute("nodes")
+        assert out.count("init") == 3
+
+    def test_links_listing_empty(self, shell):
+        assert shell.execute("links") == "(no links)"
+
+    def test_links_listing_after_create(self, shell):
+        shell.execute('inject! { f() { create(ln = "w"; ll = "x"); } }')
+        shell.execute("run")
+        assert "x" in shell.execute("links")
+
+    def test_messengers_listing(self, shell):
+        assert "no live messengers" in shell.execute("messengers")
+        shell.execute('inject! { f() { M_sched_time_abs(99); } }')
+        out = shell.execute("messengers")
+        assert "#" in out
+
+    def test_stats_and_gvt(self, shell):
+        shell.execute('inject! { f() { M_sched_time_abs(1); } }')
+        shell.execute("run")
+        stats = shell.execute("stats")
+        assert "host0" in stats
+        gvt = shell.execute("gvt")
+        assert "gvt=1" in gvt
+
+    def test_script_batch(self, shell):
+        outputs = shell.system and Shell(shell.system).script(
+            "# batch\nnodes\ngvt"
+        )
+        assert outputs[0] == ""
+        assert "init" in outputs[1]
