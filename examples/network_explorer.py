@@ -15,9 +15,8 @@ then solves two classic distributed problems purely with navigation:
 Run:  python examples/network_explorer.py
 """
 
-from repro.des import Simulator
-from repro.netsim import build_lan
-from repro.messengers import MessengersSystem, Shell, build_from_text
+import repro
+from repro.messengers import build_from_text
 
 CAMPUS = """
 # an irregular campus network: three buildings, bridged
@@ -69,13 +68,14 @@ candidate(site_id) {
 
 
 def main() -> None:
-    sim = Simulator()
-    system = MessengersSystem(build_lan(sim, 4))
-    nodes = build_from_text(system, CAMPUS)
+    # The facade owns the simulator and LAN; the net_builder service
+    # grafts the campus topology onto its MESSENGERS runtime.
+    c = repro.cluster(4)
+    nodes = build_from_text(c.messengers, CAMPUS)
 
     distances = {}
 
-    @system.natives.register
+    @c.natives.register
     def record(env, node_name, dist):
         distances[node_name] = min(
             dist, distances.get(node_name, float("inf"))
@@ -86,8 +86,8 @@ def main() -> None:
     print()
 
     # -- flooding exploration -------------------------------------------
-    system.inject(EXPLORER_FULL, args=(0,), daemon="host0", node="gateway")
-    system.run_to_quiescence()
+    c.inject(EXPLORER_FULL, args=(0,), daemon="host0", node="gateway")
+    c.run_to_quiescence()
 
     print("breadth-first distances from the gateway "
           "(computed by replicating Messengers):")
@@ -98,20 +98,20 @@ def main() -> None:
     for site_id, (name, node) in enumerate(sorted(nodes.items())):
         if name == "gateway":
             continue
-        system.inject(
+        c.inject(
             CANDIDATE, args=(site_id,), daemon=node.daemon, node=name
         )
-    system.run_to_quiescence()
+    c.run_to_quiescence()
     print()
     print(f"leader elected at the gateway rendezvous: site "
           f"{nodes['gateway'].variables['leader']}")
 
     # -- inspect with the shell -----------------------------------------------
-    shell = Shell(system)
+    shell = c.shell()
     print()
     print("shell> stats")
     print(shell.execute("stats"))
-    print(f"(simulated time {sim.now * 1e3:.2f} ms)")
+    print(f"(simulated time {c.now * 1e3:.2f} ms)")
 
 
 if __name__ == "__main__":

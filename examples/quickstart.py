@@ -1,7 +1,7 @@
 """Quickstart: your first Messengers on a simulated cluster.
 
-Builds a 4-workstation LAN, starts the MESSENGERS system on it, and
-injects two Messengers:
+Builds a 4-workstation LAN with the one-call facade, and injects two
+Messengers:
 
 1. ``hello`` — clones itself onto every neighbouring daemon with
    ``create(ALL)`` and reports where it landed;
@@ -12,35 +12,32 @@ injects two Messengers:
 Run:  python examples/quickstart.py
 """
 
-from repro.des import Simulator
-from repro.netsim import build_lan
-from repro.messengers import MessengersSystem
+import repro
 
 
 def main() -> None:
-    # 1. The physical substrate: four hosts on one shared Ethernet.
-    sim = Simulator()
-    network = build_lan(sim, 4)
+    # 1. The whole platform in one call: four simulated workstations on
+    #    one shared Ethernet, a daemon on each, an `init` logical node
+    #    per daemon, and a native-function registry.  (The long form —
+    #    Simulator + build_lan + MessengersSystem — still works and is
+    #    what the benchmarks use.)
+    c = repro.cluster(4)
 
-    # 2. The MESSENGERS runtime: one daemon per host, an `init` logical
-    #    node on each, and a native-function registry.
-    system = MessengersSystem(network)
-
-    # 3. Native-mode functions are plain Python callables.
-    @system.natives.register
+    # 2. Native-mode functions are plain Python callables.
+    @c.natives.register
     def greet(env):
         env.node_vars["greeting"] = f"hello from {env.daemon.name}"
         return 0
 
-    @system.natives.register
+    @c.natives.register
     def collect(env, text):
         env.node_vars.setdefault("greetings", []).append(text)
         return 0
 
-    # 4. Inject a Messenger written in MCL (the paper's C-subset).
+    # 3. Inject a Messenger written in MCL (the paper's C-subset).
     #    create(ALL) replicates it into a new logical node on every
     #    neighbouring daemon, connected back to init by an unnamed link.
-    system.inject(
+    c.inject(
         """
         hello() {
             create(ALL);
@@ -50,16 +47,16 @@ def main() -> None:
         """,
         daemon="host0",
     )
-    system.run_to_quiescence()
+    c.run_to_quiescence()
 
     print("--- hello messengers ---")
-    for line in system.log_lines:
+    for line in c.messengers.log_lines:
         print(line)
 
-    # 5. The logical network persists after its creators terminated.
+    # 4. The logical network persists after its creators terminated.
     #    A second Messenger walks the same links: out over every spoke
     #    (replicating 3-ways), then home along $last to deliver.
-    system.inject(
+    c.inject(
         """
         collector() {
             hop();                  /* fan out over all links */
@@ -70,15 +67,15 @@ def main() -> None:
         """,
         daemon="host0",
     )
-    system.run_to_quiescence()
+    c.run_to_quiescence()
 
-    central = system.daemon("host0").init_node
+    central = c.daemon("host0").init_node
     print("--- collected at", central.display_name, "on host0 ---")
     for text in sorted(central.variables["greetings"]):
         print(" ", text)
 
-    print(f"--- {system.logical.node_count()} logical nodes, "
-          f"simulated time {sim.now * 1e3:.2f} ms ---")
+    print(f"--- {c.logical.node_count()} logical nodes, "
+          f"simulated time {c.now * 1e3:.2f} ms ---")
 
 
 if __name__ == "__main__":

@@ -25,10 +25,78 @@ Subpackages
 ``repro.bench``
     Sweep drivers and reporting for regenerating every paper artifact.
 
+``repro.obs``
+    Cross-cutting observability: metrics, the virtual-time cost
+    ledger, Chrome-trace/JSONL exporters.
+
+The facade (this package's top level) is the quickest way in::
+
+    import repro
+
+    c = repro.cluster(4)
+    c.inject('hello() { create(ALL); M_log("hi from", $address); }')
+    c.run_to_quiescence()
+
 See README.md for a tour, DESIGN.md for the system inventory, and
 EXPERIMENTS.md for paper-versus-measured results.
 """
 
-__version__ = "1.0.0"
+from .des import Simulator
+from .facade import Cluster, Experiment, ExperimentResult, cluster
+from .messengers import (
+    DaemonNetwork,
+    MessengersSystem,
+    NativeRegistry,
+    Shell,
+    Tracer,
+)
+from .mp import MessagePassingSystem, PackBuffer, UnpackBuffer
+from .netsim import (
+    CacheModel,
+    CostModel,
+    DEFAULT_COSTS,
+    Network,
+    build_lan,
+    sparc5_costs,
+)
+from .obs import (
+    CATEGORIES,
+    MetricsRegistry,
+    cost_breakdown,
+    dump_chrome_trace,
+    format_breakdown,
+    to_chrome_trace,
+    to_jsonl,
+)
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "CATEGORIES",
+    "CacheModel",
+    "Cluster",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "DaemonNetwork",
+    "Experiment",
+    "ExperimentResult",
+    "MessagePassingSystem",
+    "MessengersSystem",
+    "MetricsRegistry",
+    "NativeRegistry",
+    "Network",
+    "PackBuffer",
+    "Shell",
+    "Simulator",
+    "Tracer",
+    "UnpackBuffer",
+    "__version__",
+    "build_lan",
+    "cluster",
+    "cost_breakdown",
+    "dump_chrome_trace",
+    "format_breakdown",
+    "sparc5_costs",
+    "to_chrome_trace",
+    "to_jsonl",
+]

@@ -59,11 +59,19 @@ def run_messengers(
     grid: TaskGrid,
     n_workers: int,
     costs: CostModel = DEFAULT_COSTS,
+    metrics=None,
 ) -> MessengersMandelbrotResult:
-    """Run the Figure-3 program; returns image + simulated seconds."""
+    """Run the Figure-3 program; returns image + simulated seconds.
+
+    ``metrics`` optionally attaches a
+    :class:`~repro.obs.MetricsRegistry` to the run's simulator
+    (``python -m repro stats`` uses this for the cost breakdown).
+    """
     if n_workers < 1:
         raise ValueError("need at least one worker")
     sim = Simulator()
+    if metrics is not None:
+        sim.metrics = metrics
     # host0 carries the central node; one worker daemon per processor.
     network = build_lan(sim, n_workers + 1, costs)
     system = MessengersSystem(network)

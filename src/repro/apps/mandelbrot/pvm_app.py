@@ -106,11 +106,19 @@ def run_pvm(
     grid: TaskGrid,
     n_workers: int,
     costs: CostModel = DEFAULT_COSTS,
+    metrics=None,
 ) -> PvmMandelbrotResult:
-    """Run the Figure-2 program; returns image + simulated seconds."""
+    """Run the Figure-2 program; returns image + simulated seconds.
+
+    ``metrics`` optionally attaches a
+    :class:`~repro.obs.MetricsRegistry` to the run's simulator
+    (``python -m repro stats --system pvm`` uses this).
+    """
     if n_workers < 1:
         raise ValueError("need at least one worker")
     sim = Simulator()
+    if metrics is not None:
+        sim.metrics = metrics
     network = build_lan(sim, n_workers + 1, costs)  # host0 = manager
     system = MessagePassingSystem(network)
     results: dict[int, np.ndarray] = {}

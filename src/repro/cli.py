@@ -9,6 +9,15 @@ Commands
     statistics and the final logical network).
 ``figure {4,5,6,7,12a,12b}``
     Regenerate one paper figure and print its table + ASCII chart.
+``stats [--system messengers|pvm] [--image N] [--procs P]``
+    Run the Figure-4 Mandelbrot workload with the observability layer
+    attached: prints the per-category virtual-time cost breakdown
+    (where did the time go — copies? wire? interpretation? compute?),
+    the key counters, and writes a Chrome ``trace_event`` JSON
+    (load it at ``chrome://tracing`` or https://ui.perfetto.dev).
+``selftest``
+    Run the repository's test suite plus the observability overhead
+    guard (requires pytest).
 ``info``
     Version, package inventory and cost-model summary.
 """
@@ -113,6 +122,60 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    from .apps.mandelbrot.kernel import TaskGrid
+    from .apps.mandelbrot.messengers_app import run_messengers
+    from .apps.mandelbrot.pvm_app import run_pvm
+    from .obs import (
+        MetricsRegistry,
+        cost_breakdown,
+        dump_chrome_trace,
+        format_breakdown,
+        format_counters,
+    )
+
+    registry = MetricsRegistry(opcode_counts=args.opcodes)
+    grid = TaskGrid(args.image, args.grid)
+    runner = run_messengers if args.system == "messengers" else run_pvm
+    result = runner(grid, args.procs, metrics=registry)
+
+    # One cost-ledger timeline per host (manager + P workers) plus the
+    # shared Ethernet segment.
+    n_tracks = args.procs + 2
+    breakdown = cost_breakdown(registry, result.seconds, n_tracks)
+    print(
+        format_breakdown(
+            breakdown,
+            title=(
+                f"{args.system} mandelbrot {args.image}x{args.image} "
+                f"({args.grid}x{args.grid} blocks, {args.procs} procs) — "
+                f"{result.seconds:.4f} simulated seconds"
+            ),
+        )
+    )
+    print()
+    print(format_counters(registry))
+    events = dump_chrome_trace(registry, args.trace)
+    print()
+    print(f"chrome trace: {args.trace} ({events} events; open at "
+          "chrome://tracing or https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_selftest(args) -> int:
+    import subprocess
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    targets = [str(root / "tests")]
+    guard = root / "benchmarks" / "test_obs_overhead.py"
+    if guard.exists():
+        targets.append(str(guard))
+    command = [sys.executable, "-m", "pytest", "-q", *targets]
+    print("selftest:", " ".join(command))
+    return subprocess.call(command, cwd=root)
+
+
 def _cmd_info(args) -> int:
     import repro
     from .netsim import DEFAULT_COSTS
@@ -153,6 +216,30 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--full", action="store_true",
                         help="paper-scale parameter ranges")
     figure.set_defaults(func=_cmd_figure)
+
+    stats = sub.add_parser(
+        "stats",
+        help="cost breakdown + Chrome trace for the Fig-4 workload",
+    )
+    stats.add_argument(
+        "--system", choices=["messengers", "pvm"], default="messengers"
+    )
+    stats.add_argument("--image", type=int, default=320,
+                       help="image size in pixels (default 320, Fig 4)")
+    stats.add_argument("--grid", type=int, default=8,
+                       help="task grid side (default 8 -> 64 blocks)")
+    stats.add_argument("--procs", type=int, default=4,
+                       help="worker processors (default 4)")
+    stats.add_argument("--opcodes", action="store_true",
+                       help="also count VM instructions per opcode")
+    stats.add_argument("--trace", default="mandelbrot_trace.json",
+                       help="Chrome trace output path")
+    stats.set_defaults(func=_cmd_stats)
+
+    selftest = sub.add_parser(
+        "selftest", help="run the test suite + obs overhead guard"
+    )
+    selftest.set_defaults(func=_cmd_selftest)
 
     info = sub.add_parser("info", help="version and cost model")
     info.set_defaults(func=_cmd_info)

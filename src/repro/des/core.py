@@ -239,6 +239,8 @@ class Simulator:
         self._queue: list = []
         self._eid = itertools.count()
         self._active_process = None
+        self._metrics = None
+        self._metrics_events = None
 
     # -- clock -------------------------------------------------------------
 
@@ -246,6 +248,29 @@ class Simulator:
     def now(self) -> float:
         """Current simulated time."""
         return self._now
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def metrics(self):
+        """The attached :class:`~repro.obs.MetricsRegistry`, or None.
+
+        Every instrumented layer (netsim, mp, messengers, gvt) reports
+        into this registry when present; when absent, instrumentation
+        reduces to one ``is None`` test per site.
+        """
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        self._metrics = registry
+        # The event-loop counter is resolved once here so step() pays a
+        # single attribute test per event, not a registry lookup.
+        self._metrics_events = (
+            registry.counter("des.events_executed")
+            if registry is not None and registry.enabled
+            else None
+        )
 
     @property
     def active_process(self):
@@ -297,6 +322,8 @@ class Simulator:
         """
         time, _prio, _eid, event = heapq.heappop(self._queue)
         self._now = time
+        if self._metrics_events is not None:
+            self._metrics_events.value += 1
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:

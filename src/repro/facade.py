@@ -1,0 +1,354 @@
+"""One-call construction of the paper's platform.
+
+Everything in this repository can be assembled by hand — a
+:class:`~repro.des.Simulator`, a LAN from
+:func:`~repro.netsim.build_lan`, then a
+:class:`~repro.messengers.MessengersSystem` or
+:class:`~repro.mp.MessagePassingSystem` on top — and the lower layers
+remain the canonical API for benchmarks that need full control.  But
+the common case is always the same four lines, so this module provides
+them as one::
+
+    import repro
+
+    c = repro.cluster(4)                 # 4 workstations, one Ethernet
+    c.inject('hello() { create(ALL); M_log("hi from", $address); }')
+    c.run_to_quiescence()
+
+A :class:`Cluster` owns the simulator and the physical network and
+builds the software systems lazily: ``c.messengers`` the first time a
+Messenger-side call is made, ``c.mp`` the first time a task is
+spawned.  Both share the same wire, so mixed experiments work too.
+
+:class:`Experiment` is the fluent front end for measured runs::
+
+    result = (repro.Experiment().hosts(8).metrics()
+              .run(lambda c: c.inject(SCRIPT) and c.run_to_quiescence()))
+    print(result.report())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Union
+
+from .des import Simulator
+from .netsim import CostModel, DEFAULT_COSTS, Network, build_lan
+from .obs import MetricsRegistry, cost_breakdown, format_breakdown
+
+__all__ = ["Cluster", "Experiment", "ExperimentResult", "cluster"]
+
+#: Daemon-graph shapes :class:`Cluster` knows how to build.
+TOPOLOGIES = ("ethernet", "complete", "ring")
+
+
+class Cluster:
+    """The paper's platform in one object: N hosts on one shared LAN.
+
+    Parameters
+    ----------
+    n_hosts:
+        Number of simulated workstations.
+    topology:
+        Shape of the *daemon* network: ``"ethernet"`` (alias
+        ``"complete"``, the paper's single-LAN platform where every
+        daemon reaches every other) or ``"ring"``.  A pre-built
+        :class:`~repro.messengers.DaemonNetwork` is also accepted.
+        The physical substrate is always one shared Ethernet segment.
+    costs:
+        Platform cost table (default: the SPARCstation 5 calibration).
+    cpu_scale:
+        Relative CPU speed of every host.
+    metrics:
+        ``True`` to attach a fresh :class:`~repro.obs.MetricsRegistry`
+        to the simulator (or pass a registry you built yourself).
+        Default off — the zero-overhead path.
+    name_prefix:
+        Host names are ``f"{name_prefix}{index}"``.
+    """
+
+    def __init__(
+        self,
+        n_hosts: int = 4,
+        topology: Any = "ethernet",
+        costs: Optional[CostModel] = None,
+        cpu_scale: float = 1.0,
+        metrics: Union[bool, MetricsRegistry] = False,
+        name_prefix: str = "host",
+    ):
+        self.sim = Simulator()
+        self.costs = costs if costs is not None else DEFAULT_COSTS
+        self.network: Network = build_lan(
+            self.sim, n_hosts, self.costs, cpu_scale, name_prefix
+        )
+        if isinstance(metrics, MetricsRegistry):
+            self.metrics: Optional[MetricsRegistry] = metrics
+        elif metrics:
+            self.metrics = MetricsRegistry()
+        else:
+            self.metrics = None
+        if self.metrics is not None:
+            self.sim.metrics = self.metrics
+
+        if isinstance(topology, str) and topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {topology!r} (choose from "
+                f"{', '.join(TOPOLOGIES)} or pass a DaemonNetwork)"
+            )
+        self._topology = topology
+        self._messengers = None
+        self._mp = None
+
+    # -- construction of the software layers (lazy) -------------------------
+
+    def _daemon_graph(self):
+        from .messengers import DaemonNetwork
+
+        if isinstance(self._topology, DaemonNetwork):
+            return self._topology
+        names = self.network.host_names
+        if self._topology == "ring":
+            return DaemonNetwork.ring(names)
+        return DaemonNetwork.complete(names)
+
+    @property
+    def messengers(self):
+        """The MESSENGERS runtime on this cluster (built on first use)."""
+        if self._messengers is None:
+            from .messengers import MessengersSystem
+
+            self._messengers = MessengersSystem(
+                self.network, daemon_graph=self._daemon_graph()
+            )
+        return self._messengers
+
+    @property
+    def mp(self):
+        """The PVM-workalike runtime on this cluster (built on first use)."""
+        if self._mp is None:
+            from .mp import MessagePassingSystem
+
+            self._mp = MessagePassingSystem(self.network)
+        return self._mp
+
+    # -- cluster shape -------------------------------------------------------
+
+    @property
+    def hosts(self):
+        return self.network.hosts
+
+    @property
+    def host_names(self) -> list[str]:
+        return self.network.host_names
+
+    def host(self, name: str):
+        return self.network.host(name)
+
+    def __len__(self) -> int:
+        return len(self.network)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.sim.now
+
+    # -- MESSENGERS-side delegates ------------------------------------------
+
+    @property
+    def natives(self):
+        """Native-function registry (``@c.natives.register``)."""
+        return self.messengers.natives
+
+    def inject(self, script, **kwargs):
+        """Inject a Messenger (see :meth:`MessengersSystem.inject`)."""
+        return self.messengers.inject(script, **kwargs)
+
+    def run_to_quiescence(self) -> float:
+        """Run until no Messenger can make progress; returns sim.now."""
+        return self.messengers.run_to_quiescence()
+
+    def daemon(self, name: str):
+        return self.messengers.daemon(name)
+
+    @property
+    def logical(self):
+        """The persistent logical network."""
+        return self.messengers.logical
+
+    def shell(self):
+        """An interactive/programmatic shell bound to this cluster."""
+        from .messengers import Shell
+
+        return Shell(self.messengers)
+
+    def tracer(self, capacity: Optional[int] = None):
+        """Attach and return a :class:`~repro.messengers.Tracer`."""
+        from .messengers import Tracer
+
+        return Tracer.attach(self.messengers, capacity)
+
+    # -- message-passing-side delegates -------------------------------------
+
+    def spawn(self, behavior: Callable, *args, **kwargs) -> int:
+        """Start a message-passing task (see
+        :meth:`MessagePassingSystem.spawn`)."""
+        return self.mp.spawn(behavior, *args, **kwargs)
+
+    # -- driving -------------------------------------------------------------
+
+    def run(self, until: Any = None) -> Any:
+        """Drive the simulation (delegates to the simulator)."""
+        return self.sim.run(until=until)
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def n_tracks(self) -> int:
+        """Cost-ledger timelines: every host plus the shared wire."""
+        return len(self.network) + 1
+
+    def snapshot(self) -> dict:
+        """Metric snapshot (empty dict when metrics are off)."""
+        return self.metrics.snapshot() if self.metrics is not None else {}
+
+    def breakdown(self) -> dict:
+        """Per-category cost breakdown of the run so far.
+
+        Requires the cluster to have been built with ``metrics=True``.
+        """
+        if self.metrics is None:
+            raise RuntimeError(
+                "cluster was built without metrics; pass metrics=True "
+                "to repro.cluster(...) to enable the cost ledger"
+            )
+        return cost_breakdown(self.metrics, self.sim.now, self.n_tracks)
+
+    def report(self, title: str = "virtual-time cost breakdown") -> str:
+        """ASCII rendering of :meth:`breakdown`."""
+        return format_breakdown(self.breakdown(), title=title)
+
+    def __repr__(self) -> str:
+        layers = []
+        if self._messengers is not None:
+            layers.append("messengers")
+        if self._mp is not None:
+            layers.append("mp")
+        return (
+            f"<Cluster hosts={len(self.network)} "
+            f"t={self.sim.now:.6f}s "
+            f"layers=[{', '.join(layers) or '-'}]"
+            f"{' metrics' if self.metrics is not None else ''}>"
+        )
+
+
+def cluster(n_hosts: int = 4, **kwargs) -> Cluster:
+    """Build the paper's platform: ``n_hosts`` workstations on one LAN.
+
+    Keyword arguments are forwarded to :class:`Cluster`.
+    """
+    return Cluster(n_hosts, **kwargs)
+
+
+@dataclass
+class ExperimentResult:
+    """What one measured run produced."""
+
+    #: Value returned by the experiment body (if any).
+    value: Any
+    #: Simulated seconds at the end of the run.
+    elapsed_s: float
+    #: Metric snapshot (empty when metrics were off).
+    snapshot: dict = field(default_factory=dict)
+    #: Cost breakdown dict (None when metrics were off).
+    breakdown: Optional[dict] = None
+    #: The cluster, for further inspection.
+    cluster: Optional[Cluster] = None
+
+    def report(self, title: str = "virtual-time cost breakdown") -> str:
+        """ASCII cost-breakdown table (empty string if metrics were off)."""
+        if self.breakdown is None:
+            return ""
+        return format_breakdown(self.breakdown, title=title)
+
+
+class Experiment:
+    """Fluent builder for measured runs.
+
+    ::
+
+        result = (
+            repro.Experiment()
+            .hosts(8)
+            .topology("ring")
+            .metrics()
+            .run(body)          # body(cluster) -> value
+        )
+    """
+
+    def __init__(self):
+        self._n_hosts = 4
+        self._topology: Any = "ethernet"
+        self._costs: Optional[CostModel] = None
+        self._cpu_scale = 1.0
+        self._metrics: Union[bool, MetricsRegistry] = False
+        self._name_prefix = "host"
+
+    # -- builder steps (each returns self) ----------------------------------
+
+    def hosts(self, n: int) -> "Experiment":
+        self._n_hosts = n
+        return self
+
+    def topology(self, shape: Any) -> "Experiment":
+        self._topology = shape
+        return self
+
+    def costs(self, costs: CostModel) -> "Experiment":
+        self._costs = costs
+        return self
+
+    def cpu_scale(self, scale: float) -> "Experiment":
+        self._cpu_scale = scale
+        return self
+
+    def metrics(
+        self, registry: Union[bool, MetricsRegistry] = True
+    ) -> "Experiment":
+        self._metrics = registry
+        return self
+
+    def name_prefix(self, prefix: str) -> "Experiment":
+        self._name_prefix = prefix
+        return self
+
+    # -- terminal steps ------------------------------------------------------
+
+    def build(self) -> Cluster:
+        """Materialize the cluster without running anything."""
+        return Cluster(
+            self._n_hosts,
+            topology=self._topology,
+            costs=self._costs,
+            cpu_scale=self._cpu_scale,
+            metrics=self._metrics,
+            name_prefix=self._name_prefix,
+        )
+
+    def run(self, body: Callable[[Cluster], Any]) -> ExperimentResult:
+        """Build the cluster, run ``body(cluster)``, collect the results.
+
+        The body drives the simulation itself (e.g. ``inject`` +
+        ``run_to_quiescence``, or spawning tasks and ``c.run()``); its
+        return value lands in ``result.value``.
+        """
+        built = self.build()
+        value = body(built)
+        return ExperimentResult(
+            value=value,
+            elapsed_s=built.sim.now,
+            snapshot=built.snapshot(),
+            breakdown=(
+                built.breakdown() if built.metrics is not None else None
+            ),
+            cluster=built,
+        )

@@ -96,10 +96,16 @@ class ConservativeKernel:
         return self.stats
 
     def _driver(self, until_vt: float):
+        metrics = self.sim.metrics
         while self._queue:
             # Synchronization round to agree on the global minimum.
+            round_start = self.sim.now
             yield self.sim.timeout(self._round_delay())
             self.stats.gvt_advances += 1
+            if metrics is not None:
+                metrics.count("gvt.min_reductions")
+                metrics.count("gvt.advances")
+                metrics.span("gvt", "round", "gvt", round_start, self.sim.now)
             timestamp = self._queue[0][0]
             if timestamp > until_vt:
                 break
@@ -132,9 +138,20 @@ class ConservativeKernel:
                         outputs.append(new_event)
                 longest = max(longest, spec.cost_s * len(events))
             if longest > 0:
+                work_start = self.sim.now
                 yield self.sim.timeout(longest)
+                if metrics is not None:
+                    metrics.count(
+                        "gvt.events_processed_batch", len(batch)
+                    )
+                    metrics.span(
+                        "gvt", "batch", "compute",
+                        work_start, self.sim.now,
+                    )
             if outputs:
                 yield self.sim.timeout(self.message_latency_s)
+                if metrics is not None:
+                    metrics.charge("protocol", self.message_latency_s)
                 for new_event in outputs:
                     self.post(new_event)
         return self.stats

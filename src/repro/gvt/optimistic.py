@@ -197,6 +197,9 @@ class TimeWarpKernel:
         """Classify an arrival: anti, straggler, or plain pending."""
         if event.anti:
             self.stats.anti_messages += 1
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.count("gvt.anti_messages")
             self._annihilate(lp, event)
             return
         if event.uid in lp.doomed:
@@ -226,6 +229,13 @@ class TimeWarpKernel:
     def _rollback(self, lp: _Lp, to_key: tuple, drop_uid: Optional[int] = None):
         """Undo all processed events ordered at or after ``to_key``."""
         self.stats.rollbacks += 1
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.count("gvt.rollbacks")
+            metrics.instant(
+                "gvt", "rollback", self.sim.now,
+                args={"lp": lp.spec.name, "to": to_key[0]},
+            )
         undone: list[_ProcessedEntry] = []
         while lp.processed:
             entry = lp.processed[-1]
@@ -246,6 +256,8 @@ class TimeWarpKernel:
         )
         for entry in undone:
             self.stats.events_rolled_back += 1
+            if metrics is not None:
+                metrics.count("gvt.events_rolled_back")
             # Cancel everything these events sent.
             for output in entry.outputs:
                 self._send(output.as_anti())
@@ -258,9 +270,8 @@ class TimeWarpKernel:
     def _lp_loop(self, lp: _Lp):
         spec = lp.spec
         costs = self.costs
-        per_event_charge = (
-            spec.state_bytes * costs.state_save_per_byte_s + spec.cost_s
-        )
+        state_save_charge = spec.state_bytes * costs.state_save_per_byte_s
+        per_event_charge = state_save_charge + spec.cost_s
         while True:
             if not lp.pending:
                 yield lp.inbox.get()  # wake-up token
@@ -272,6 +283,10 @@ class TimeWarpKernel:
             # across a simulation yield.
             if per_event_charge > 0:
                 yield self.sim.timeout(per_event_charge)
+                metrics = self.sim.metrics
+                if metrics is not None:
+                    metrics.charge("gvt", state_save_charge)
+                    metrics.charge("compute", spec.cost_s)
             if not lp.pending:
                 continue
 
@@ -280,6 +295,9 @@ class TimeWarpKernel:
             snapshot = copy.deepcopy(spec.state)
             outputs = spec.handler(spec.state, event) or []
             self.stats.events_processed += 1
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.count("gvt.events_processed")
             for produced in outputs:
                 if produced.timestamp <= event.timestamp:
                     raise VirtualTimeKernelError(
@@ -316,6 +334,10 @@ class TimeWarpKernel:
             if new_gvt > self.gvt:
                 self.gvt = new_gvt
                 self.stats.gvt_advances += 1
+                metrics = self.sim.metrics
+                if metrics is not None:
+                    metrics.count("gvt.advances")
+                    metrics.gauge("gvt.value").set(self.gvt)
                 self._fossil_collect()
                 if self.gvt > getattr(self, "_until_vt", float("inf")):
                     self._finish()
@@ -323,10 +345,16 @@ class TimeWarpKernel:
 
     def _fossil_collect(self) -> None:
         """Discard history no rollback can ever need (ts < GVT)."""
+        collected = 0
         for lp in self._lps.values():
             keep = [
                 entry
                 for entry in lp.processed
                 if entry.event.timestamp >= self.gvt
             ]
+            collected += len(lp.processed) - len(keep)
             lp.processed = keep
+        if collected:
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.count("gvt.fossil_collected", collected)

@@ -94,24 +94,41 @@ class Daemon:
         while True:
             packet = yield port.get()
             kind, data = packet.payload
+            metrics = self.sim.metrics
             if kind == "messenger":
                 messenger = data
                 yield self.sim.process(
-                    self.host.busy(costs.hop_dispatch_s)
+                    self.host.busy(
+                        costs.hop_dispatch_s,
+                        category="dispatch",
+                        label="hop.dispatch",
+                    )
                 )
                 self.stats.arrivals += 1
+                if metrics is not None:
+                    metrics.count("messengers.arrivals")
                 self.system.trace(messenger, "arrive", self.name)
                 self.enqueue_ready(messenger)
             elif kind == "create":
                 messenger, item, origin_node = data
                 yield self.sim.process(
-                    self.host.busy(costs.hop_dispatch_s)
+                    self.host.busy(
+                        costs.hop_dispatch_s,
+                        category="dispatch",
+                        label="hop.dispatch",
+                    )
                 )
                 self.stats.arrivals += 1
+                if metrics is not None:
+                    metrics.count("messengers.arrivals")
                 self._create_local(messenger, item, origin_node)
                 # creation cost itself
                 yield self.sim.process(
-                    self.host.busy(2 * costs.logical_create_s)
+                    self.host.busy(
+                        2 * costs.logical_create_s,
+                        category="dispatch",
+                        label="logical.create",
+                    )
                 )
                 self.enqueue_ready(messenger)
             else:  # pragma: no cover - internal protocol
@@ -144,6 +161,12 @@ class Daemon:
         costs = self.system.costs
         env = NativeEnv(self.system, self, messenger)
         native_calls = 0
+        metrics = self.sim.metrics
+        opcounts = (
+            {}
+            if metrics is not None and metrics.opcode_counts
+            else None
+        )
 
         def call_native(name, args):
             nonlocal native_calls
@@ -161,6 +184,7 @@ class Daemon:
                 messenger.node.variables,
                 netvar,
                 call_native,
+                opcounts=opcounts,
             )
         except Exception:
             # Script or native-function failure: record the casualty and
@@ -174,13 +198,33 @@ class Daemon:
         self.stats.native_calls += native_calls
         messenger.instructions_executed += command.instructions
 
-        busy = (
+        interp = (
             command.instructions * costs.interp_instr_s
             + native_calls * costs.native_call_s
-            + env.drain_charge()
         )
+        charges = env.drain_charges()
+        busy = interp + sum(charges.values())
         if busy > 0:
-            yield self.sim.process(self.host.busy(busy))
+            # One uninterrupted burst (the non-preemptive policy); the
+            # attribution is split below: script interpretation versus
+            # whatever the natives charged (compute, copies, ...).
+            yield self.sim.process(
+                self.host.busy(busy, category=None, label="slice")
+            )
+        if metrics is not None:
+            metrics.count("messengers.slices")
+            metrics.count(
+                "mcl.vm.instructions_total", command.instructions
+            )
+            if native_calls:
+                metrics.count("messengers.native_calls", native_calls)
+            metrics.charge("interpretation", interp)
+            for category, seconds in charges.items():
+                metrics.charge(category, seconds)
+            if opcounts:
+                metrics.counter_family(
+                    "mcl.vm.instructions", "opcode"
+                ).merge(opcounts)
 
         if isinstance(command, DoneCommand):
             self.stats.messengers_finished += 1
@@ -226,7 +270,11 @@ class Daemon:
                     self.stats.links_deleted += 1
             if moves:
                 yield self.sim.process(
-                    self.host.busy(costs.logical_create_s * len(moves))
+                    self.host.busy(
+                        costs.logical_create_s * len(moves),
+                        category="dispatch",
+                        label="link.delete",
+                    )
                 )
 
         if not moves:
@@ -246,21 +294,24 @@ class Daemon:
             replicas.append(replica)
 
         state = messenger.state_bytes()
-        local_cost = 0.0
+        dispatch_cost = 0.0
+        copy_cost = 0.0
+        n_local = 0
+        n_remote = 0
         for (link, node), replica in zip(moves, replicas):
             replica.place(node, link)
             if node.daemon == self.name:
-                local_cost += (
-                    costs.hop_dispatch_s
-                    + state * costs.msgr_state_local_per_byte_s
-                )
+                dispatch_cost += costs.hop_dispatch_s
+                copy_cost += state * costs.msgr_state_local_per_byte_s
                 self.stats.hops_out_local += 1
+                n_local += 1
                 self.system.trace(
                     replica, "hop", self.name, "local"
                 )
                 self.enqueue_ready(replica)
             else:
                 self.stats.hops_out_remote += 1
+                n_remote += 1
                 self.system.trace(
                     replica, "hop", self.name,
                     f"-> {node.daemon} ({state}B)",
@@ -273,8 +324,22 @@ class Daemon:
                     size_bytes=state,
                 )
                 self.system.network.enqueue(packet)
+        local_cost = dispatch_cost + copy_cost
         if local_cost > 0:
-            yield self.sim.process(self.host.busy(local_cost))
+            yield self.sim.process(
+                self.host.busy(local_cost, category=None, label="hop.local")
+            )
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.count("messengers.hops", n_local + n_remote)
+            if n_local:
+                metrics.count("messengers.hops_local", n_local)
+            if n_remote:
+                metrics.count("messengers.hops_remote", n_remote)
+                metrics.count("messengers.state_bytes_moved",
+                              state * n_remote)
+            metrics.charge("dispatch", dispatch_cost)
+            metrics.charge("copies", copy_cost)
 
     def _create_local(self, messenger: Messenger, item, origin_node):
         """Materialize one create item on *this* daemon's tables."""
@@ -323,15 +388,14 @@ class Daemon:
             replicas.append(replica)
 
         state = messenger.state_bytes()
-        local_cost = 0.0
+        dispatch_cost = 0.0
+        copy_cost = 0.0
         for (daemon_name, item), replica in zip(placements, replicas):
             if daemon_name == self.name:
                 self._create_local(replica, item, origin)
                 self.system.trace(replica, "create", self.name, "local")
-                local_cost += (
-                    2 * costs.logical_create_s
-                    + state * costs.msgr_state_local_per_byte_s
-                )
+                dispatch_cost += 2 * costs.logical_create_s
+                copy_cost += state * costs.msgr_state_local_per_byte_s
                 self.enqueue_ready(replica)
             else:
                 packet = Packet(
@@ -342,8 +406,17 @@ class Daemon:
                     size_bytes=state + 64,  # state + create request header
                 )
                 self.system.network.enqueue(packet)
+        local_cost = dispatch_cost + copy_cost
         if local_cost > 0:
-            yield self.sim.process(self.host.busy(local_cost))
+            yield self.sim.process(
+                self.host.busy(
+                    local_cost, category=None, label="create.local"
+                )
+            )
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.charge("dispatch", dispatch_cost)
+            metrics.charge("copies", copy_cost)
 
     def __repr__(self) -> str:
         return f"<Daemon {self.name} ready={len(self.ready)}>"

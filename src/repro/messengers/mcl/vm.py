@@ -136,6 +136,7 @@ def run(
     netvar: Callable[[str], Any],
     call_native: Callable[[str, list], Any],
     max_instructions: int = 1_000_000,
+    opcounts: Optional[dict] = None,
 ) -> Command:
     """Interpret until the next preemption point.
 
@@ -153,6 +154,11 @@ def run(
         Invokes a registered native-mode function; runs atomically.
     max_instructions:
         Runaway-script guard.
+    opcounts:
+        Optional ``{opcode: count}`` dict, incremented per executed
+        instruction (feeds ``mcl.vm.instructions{opcode}`` metrics; only
+        requested when the attached registry opts into opcode counting,
+        because the per-instruction increment is measurable overhead).
 
     Returns the :class:`Command` describing why execution stopped, with
     ``instructions`` set to the number of bytecode instructions executed
@@ -177,6 +183,8 @@ def run(
         frame.pc += 1
         executed += 1
         op = instr.op
+        if opcounts is not None:
+            opcounts[op] = opcounts.get(op, 0) + 1
 
         if op == "CONST":
             frame.push(instr.arg)

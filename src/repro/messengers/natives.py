@@ -35,7 +35,9 @@ class NativeEnv:
         self.system = system
         self.daemon = daemon
         self.messenger = messenger
-        self._charged_seconds = 0.0
+        #: Accumulated charges by cost category (see repro.obs.CATEGORIES);
+        #: the daemon drains this after each execution slice.
+        self._charges: dict[str, float] = {}
 
     # -- state access ---------------------------------------------------------
 
@@ -71,18 +73,26 @@ class NativeEnv:
 
     # -- cost charging ------------------------------------------------------------
 
-    def charge_seconds(self, seconds: float) -> None:
-        """Charge raw CPU seconds for work done in this native call."""
+    def charge_seconds(
+        self, seconds: float, category: str = "compute"
+    ) -> None:
+        """Charge raw CPU seconds for work done in this native call.
+
+        ``category`` attributes the time in the cost ledger when a
+        metrics registry is attached (default: application compute).
+        """
         if seconds < 0:
             raise ValueError(f"negative charge {seconds}")
-        self._charged_seconds += seconds
+        self._charges[category] = (
+            self._charges.get(category, 0.0) + seconds
+        )
 
     def charge_flops(
         self, flops: float, working_set_bytes: float = 0.0
     ) -> None:
         """Charge a computation through the host's cache-aware model."""
-        self._charged_seconds += self.daemon.host.compute_seconds(
-            flops, working_set_bytes
+        self.charge_seconds(
+            self.daemon.host.compute_seconds(flops, working_set_bytes)
         )
 
     def charge_memcpy(self, nbytes: float) -> None:
@@ -92,14 +102,19 @@ class NativeEnv:
         copy message-passing pays; see
         ``CostModel.msgr_state_local_per_byte_s``.
         """
-        self._charged_seconds += (
-            nbytes * self.system.costs.msgr_state_local_per_byte_s
+        self.charge_seconds(
+            nbytes * self.system.costs.msgr_state_local_per_byte_s,
+            category="copies",
         )
 
     def drain_charge(self) -> float:
         """Total seconds charged; resets the accumulator (daemon use)."""
-        seconds, self._charged_seconds = self._charged_seconds, 0.0
-        return seconds
+        return sum(self.drain_charges().values())
+
+    def drain_charges(self) -> dict:
+        """Charges by cost category; resets the accumulator (daemon use)."""
+        charges, self._charges = self._charges, {}
+        return charges
 
 
 class NativeRegistry:

@@ -14,6 +14,7 @@ from typing import Any, Callable, Optional, Sequence, Union
 
 from ..des import Simulator
 from ..netsim import CostModel, Network
+from ..obs import InstantEvent
 from .daemon import Daemon
 from .daemon_graph import DaemonNetwork
 from .logical import LogicalNetwork, LogicalNode
@@ -75,9 +76,35 @@ class MessengersSystem:
         self._program_cache: dict[tuple, Program] = {}
 
     def trace(self, messenger, kind: str, daemon: str, detail: str = ""):
-        """Record a trace event if a tracer is attached (hot path)."""
-        if self.tracer is not None:
-            self.tracer.record(self.sim.now, messenger, kind, daemon, detail)
+        """Record a trace event if anyone is listening (hot path).
+
+        One :class:`~repro.obs.InstantEvent` is built and fanned out to
+        both consumers: the attached :class:`~repro.messengers.trace.Tracer`
+        (which renders it as a ``TraceEvent``) and the simulator's
+        metrics registry (which exports it to Chrome traces / JSONL).
+        """
+        tracer = self.tracer
+        metrics = self.sim.metrics
+        if tracer is None and metrics is None:
+            return
+        event = InstantEvent(
+            track=daemon,
+            name=kind,
+            t=self.sim.now,
+            args={
+                "messenger": messenger.id,
+                "program": messenger.program.name,
+                "vt": messenger.vt,
+                "node": (
+                    messenger.node.display_name if messenger.node else "-"
+                ),
+                "detail": detail,
+            },
+        )
+        if tracer is not None:
+            tracer.consume(event)
+        if metrics is not None:
+            metrics.record_instant(event)
 
     # -- compilation -------------------------------------------------------
 
@@ -192,12 +219,20 @@ class MessengersSystem:
         """A Messenger terminated (script finished or no hop match)."""
         messenger.kill()
         self.finished.append((messenger, "lost" if lost else "done"))
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.count(
+                "messengers.lost" if lost else "messengers.finished"
+            )
         self.deactivate()
 
     def messenger_failed(self, messenger: Messenger) -> None:
         """A Messenger crashed with a script error (kept for forensics)."""
         messenger.kill()
         self.finished.append((messenger, "failed"))
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.count("messengers.failed")
         self.deactivate()
 
     def choose_daemon(self, from_daemon: str, candidates: list) -> str:

@@ -21,6 +21,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs import InstantEvent
 from .logical import LogicalNetwork
 
 __all__ = ["TraceEvent", "Tracer", "to_dot", "to_networkx"]
@@ -48,7 +49,13 @@ class TraceEvent:
 
 
 class Tracer:
-    """Collects :class:`TraceEvent` records from one system."""
+    """Collects :class:`TraceEvent` records from one system.
+
+    The tracer is a *consumer* of the shared
+    :class:`~repro.obs.InstantEvent` model: the system builds one event
+    per occurrence and fans it out to the tracer and (when attached)
+    the metrics registry, so the two views of a run can never disagree.
+    """
 
     def __init__(self, capacity: Optional[int] = None):
         self.events: list[TraceEvent] = []
@@ -62,6 +69,25 @@ class Tracer:
         system.tracer = tracer
         return tracer
 
+    def consume(self, event: InstantEvent) -> None:
+        """Ingest one :class:`~repro.obs.InstantEvent` from the system."""
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        args = event.args or {}
+        self.events.append(
+            TraceEvent(
+                time=event.t,
+                vt=args.get("vt", 0.0),
+                kind=event.name,
+                messenger=args.get("messenger", -1),
+                program=args.get("program", "?"),
+                daemon=event.track,
+                node=args.get("node", "-"),
+                detail=args.get("detail", ""),
+            )
+        )
+
     def record(
         self,
         sim_time: float,
@@ -70,20 +96,23 @@ class Tracer:
         daemon: str,
         detail: str = "",
     ) -> None:
-        if self.capacity is not None and len(self.events) >= self.capacity:
-            self.dropped += 1
-            return
-        node = messenger.node.display_name if messenger.node else "-"
-        self.events.append(
-            TraceEvent(
-                time=sim_time,
-                vt=messenger.vt,
-                kind=kind,
-                messenger=messenger.id,
-                program=messenger.program.name,
-                daemon=daemon,
-                node=node,
-                detail=detail,
+        """Record one occurrence (builds the obs event, then consumes it)."""
+        self.consume(
+            InstantEvent(
+                track=daemon,
+                name=kind,
+                t=sim_time,
+                args={
+                    "messenger": messenger.id,
+                    "program": messenger.program.name,
+                    "vt": messenger.vt,
+                    "node": (
+                        messenger.node.display_name
+                        if messenger.node
+                        else "-"
+                    ),
+                    "detail": detail,
+                },
             )
         )
 

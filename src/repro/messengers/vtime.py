@@ -93,8 +93,15 @@ class ConservativeVirtualTime:
 
     def _round(self):
         """One GVT synchronization round (a simulation process)."""
-        yield self._system.sim.timeout(self._round_delay())
+        sim = self._system.sim
+        start = sim.now
+        yield sim.timeout(self._round_delay())
         self._round_running = False
+        metrics = sim.metrics
+        if metrics is not None:
+            # The timing-information exchange happened whether or not
+            # GVT advances — that is the paper's "significant overhead".
+            metrics.span("gvt", "round", "gvt", start, sim.now)
         if self._system.active_count > 0:
             # Someone was injected while the round was in flight; the
             # computation is no longer quiescent, so do not advance.
@@ -108,6 +115,7 @@ class ConservativeVirtualTime:
                 f"GVT would move backwards: {self.gvt} -> {wake_time}"
             )
         self.gvt = wake_time
+        wakeups = 0
         while self._pending and self._pending[0][0] == wake_time:
             _wake, _seq, messenger, daemon = heapq.heappop(self._pending)
             if not messenger.alive:
@@ -115,6 +123,11 @@ class ConservativeVirtualTime:
             messenger.vt = wake_time
             self._system.activate()
             daemon.enqueue_ready(messenger)
+            wakeups += 1
+        if metrics is not None:
+            metrics.count("gvt.rounds")
+            metrics.count("gvt.wakeups", wakeups)
+            metrics.gauge("gvt.value").set(self.gvt)
 
     def __repr__(self) -> str:
         return (

@@ -117,6 +117,10 @@ class TaskContext:
         for index in range(count):
             host_name = hosts[index % len(hosts)] if hosts else None
             yield self.sim.timeout(self._system.costs.mp_spawn_s)
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.count("mp.spawns")
+                metrics.charge("protocol", self._system.costs.mp_spawn_s)
             tids.append(
                 self._system.spawn(
                     behavior, *args, host=host_name, parent=self.tid
@@ -157,7 +161,15 @@ class TaskContext:
         buf = self._coerce_buffer(data)
         costs = self._system.costs
         pack_seconds = buf.nbytes * costs.pack_cost_per_byte_s
-        yield from self._busy(pack_seconds + costs.mp_per_message_s)
+        yield from self._busy(
+            pack_seconds + costs.mp_per_message_s, label="mp.send"
+        )
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.count("mp.messages_sent")
+            metrics.count("mp.pack.bytes_copied", buf.nbytes)
+            metrics.charge("copies", pack_seconds)
+            metrics.charge("protocol", costs.mp_per_message_s)
         dst_task = self._system.task(dst)
         packet = Packet(
             src=self._task.host.name,
@@ -185,11 +197,19 @@ class TaskContext:
         """
         buf = self._coerce_buffer(data)
         costs = self._system.costs
-        yield from self._busy(buf.nbytes * costs.pack_cost_per_byte_s)
+        pack_seconds = buf.nbytes * costs.pack_cost_per_byte_s
+        yield from self._busy(pack_seconds, label="mp.pack")
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.count("mp.pack.bytes_copied", buf.nbytes)
+            metrics.charge("copies", pack_seconds)
         for tid in tids:
             if tid == self._task.tid:
                 continue  # pvm_mcast excludes the sender
-            yield from self._busy(costs.mp_per_message_s)
+            yield from self._busy(costs.mp_per_message_s, label="mp.send")
+            if metrics is not None:
+                metrics.count("mp.messages_sent")
+                metrics.charge("protocol", costs.mp_per_message_s)
             dst_task = self._system.task(tid)
             packet = Packet(
                 src=self._task.host.name,
@@ -219,7 +239,13 @@ class TaskContext:
         entry = yield self._task.mailbox.get(matches)
         msg_src, msg_tag, buf = entry
         costs = self._system.costs
-        yield from self._busy(buf.nbytes * costs.unpack_cost_per_byte_s)
+        unpack_seconds = buf.nbytes * costs.unpack_cost_per_byte_s
+        yield from self._busy(unpack_seconds, label="mp.recv")
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.count("mp.messages_received")
+            metrics.count("mp.unpack.bytes_copied", buf.nbytes)
+            metrics.charge("copies", unpack_seconds)
         return Message(msg_src, msg_tag, UnpackBuffer(buf.items, buf.nbytes))
 
     def try_recv(self, src: int = ANY, tag: int = ANY):
@@ -236,9 +262,15 @@ class TaskContext:
                 got = yield self._task.mailbox.get(lambda e: e is entry)
                 _, _, got_buf = got
                 costs = self._system.costs
-                yield from self._busy(
+                unpack_seconds = (
                     got_buf.nbytes * costs.unpack_cost_per_byte_s
                 )
+                yield from self._busy(unpack_seconds, label="mp.recv")
+                metrics = self.sim.metrics
+                if metrics is not None:
+                    metrics.count("mp.messages_received")
+                    metrics.count("mp.unpack.bytes_copied", got_buf.nbytes)
+                    metrics.charge("copies", unpack_seconds)
                 return Message(
                     msg_src,
                     msg_tag,
@@ -267,10 +299,22 @@ class TaskContext:
         """Generator: idle (not holding the CPU) for virtual time."""
         yield self.sim.timeout(seconds)
 
-    def _busy(self, seconds: float):
-        """Generator: hold this host's CPU for ``seconds``."""
+    def _busy(
+        self,
+        seconds: float,
+        category: Optional[str] = None,
+        label: Optional[str] = None,
+    ):
+        """Generator: hold this host's CPU for ``seconds``.
+
+        ``category``/``label`` feed the cost ledger and trace when a
+        metrics registry is attached; ``category=None`` records an
+        uncharged span so callers can split the attribution themselves.
+        """
         if seconds > 0:
-            yield self.sim.process(self._task.host.busy(seconds))
+            yield self.sim.process(
+                self._task.host.busy(seconds, category=category, label=label)
+            )
 
     # -- groups ------------------------------------------------------------------
 

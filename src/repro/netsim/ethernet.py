@@ -54,14 +54,30 @@ class EthernetSegment:
         def _transmit(sim):
             for index in range(fragments):
                 payload = self.MTU if index < fragments - 1 else last
+                requested = sim.now
                 req = self._medium.request()
                 yield req
                 try:
                     duration = self.costs.wire_seconds(payload)
+                    start = sim.now
                     yield sim.timeout(duration)
                     self.busy_seconds += duration
                     self.bytes_carried += payload
                     self.frames_carried += 1
+                    metrics = sim.metrics
+                    if metrics is not None:
+                        metrics.count("netsim.eth.frames")
+                        metrics.count("netsim.eth.bytes", payload)
+                        stall = start - requested
+                        if stall > 0:
+                            # Contention: time spent waiting for the
+                            # shared medium (not charged to the ledger —
+                            # it overlaps other senders' wire time).
+                            metrics.count("netsim.eth.stall_seconds", stall)
+                            metrics.observe("netsim.eth.stall", stall)
+                        metrics.span(
+                            self.name, "frame", "wire", start, sim.now,
+                        )
                 finally:
                     self._medium.release(req)
 

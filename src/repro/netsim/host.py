@@ -67,19 +67,43 @@ class Host:
         seconds = self.costs.compute_seconds(
             flops, working_set_bytes, self.cpu_scale
         )
-        return self.busy(seconds)
+        return self.busy(seconds, category="compute")
 
-    def busy(self, seconds: float):
-        """Process generator: occupy the CPU for a fixed duration."""
+    def busy(
+        self,
+        seconds: float,
+        category: Optional[str] = "compute",
+        label: Optional[str] = None,
+    ):
+        """Process generator: occupy the CPU for a fixed duration.
+
+        ``category`` attributes the time in the cost ledger when a
+        metrics registry is attached (see :mod:`repro.obs`); pass
+        ``None`` for callers that split one busy period into several
+        charges themselves (the daemon's interpretation slices do).
+        ``label`` overrides the span name shown in trace exports.
+        """
         if seconds < 0:
             raise ValueError(f"negative busy time {seconds}")
 
         def _busy(sim):
             req = self.cpu.request()
             yield req
+            start = sim.now
             try:
                 yield sim.timeout(seconds)
                 self.busy_seconds += seconds
+                metrics = sim.metrics
+                if metrics is not None and (
+                    category is not None or label is not None
+                ):
+                    # With category=None the span is recorded for the
+                    # trace but not charged — the caller attributes the
+                    # time itself (e.g. pack copy + protocol overhead).
+                    metrics.span(
+                        self.name, label or category, category,
+                        start, sim.now,
+                    )
             finally:
                 self.cpu.release(req)
 

@@ -77,17 +77,35 @@ class Network:
     def _tx_pump(self, host: Host):
         """Serially drain ``host``'s outbound queue onto the wire."""
         outbound = host.port("_tx")
+        overhead = self.costs.endpoint_overhead_s
         while True:
             packet, done = yield outbound.get()
-            yield self.sim.timeout(self.costs.endpoint_overhead_s)
+            start = self.sim.now
+            yield self.sim.timeout(overhead)
+            endpoint_s = overhead
             if not packet.is_local:
                 yield self.sim.process(
                     self.segment.transmit(packet.size_bytes)
                 )
-                yield self.sim.timeout(self.costs.endpoint_overhead_s)
+                yield self.sim.timeout(overhead)
+                endpoint_s += overhead
             queue = self._hosts[packet.dst].port(packet.port)
             yield queue.put(packet)
             self.delivered += 1
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.count("netsim.net.packets")
+                metrics.count("netsim.net.bytes", packet.size_bytes)
+                metrics.charge("protocol", endpoint_s)
+                metrics.span(
+                    host.name,
+                    f"tx:{packet.port}",
+                    None,
+                    start,
+                    self.sim.now,
+                    args={"dst": packet.dst, "bytes": packet.size_bytes},
+                    charge=False,
+                )
             done.succeed(packet)
 
     def host(self, name: str) -> Host:

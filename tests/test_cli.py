@@ -23,9 +23,11 @@ class TestParser:
 
 class TestInfo:
     def test_info_prints_version_and_costs(self, capsys):
+        import repro
+
         assert main(["info"]) == 0
         out = capsys.readouterr().out
-        assert "repro 1.0.0" in out
+        assert f"repro {repro.__version__}" in out
         assert "cpu_flops" in out
         assert "interp_instr_s" in out
 
@@ -59,3 +61,36 @@ class TestFigure:
         out = capsys.readouterr().out
         assert "Figure 7" in out
         assert "ratio" in out
+
+
+class TestStats:
+    def test_stats_breakdown_and_trace(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert main([
+            "stats", "--image", "64", "--grid", "4", "--procs", "2",
+            "--trace", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        for category in ("compute", "wire", "idle", "total"):
+            assert category in out
+        assert "100.00%" in out
+        assert "des.events_executed" in out
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"]
+
+    def test_stats_pvm_system(self, tmp_path, capsys):
+        assert main([
+            "stats", "--system", "pvm", "--image", "64", "--grid", "4",
+            "--procs", "2", "--trace", str(tmp_path / "t.json"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "copies" in out and "protocol" in out
+
+    def test_stats_opcodes(self, tmp_path, capsys):
+        assert main([
+            "stats", "--image", "32", "--grid", "2", "--procs", "2",
+            "--opcodes", "--trace", str(tmp_path / "t.json"),
+        ]) == 0
+        assert "opcode=" in capsys.readouterr().out

@@ -32,6 +32,16 @@ class TestExamples:
         assert "hello from host3" in out
         assert "logical nodes" in out
 
+    def test_quickstart_uses_facade(self):
+        # The quickstart is the library's front door: it must showcase
+        # the one-call facade, not hand-assembled layers.
+        source = (EXAMPLES / "quickstart.py").read_text()
+        assert "repro.cluster(" in source
+
+    def test_network_explorer_uses_facade(self):
+        source = (EXAMPLES / "network_explorer.py").read_text()
+        assert "repro.cluster(" in source
+
     def test_mandelbrot_comparison(self):
         out = run_example("mandelbrot_comparison.py", "64", "3")
         assert "identical images" in out

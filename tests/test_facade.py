@@ -1,0 +1,206 @@
+"""The one-call facade: repro.cluster(...) and repro.Experiment.
+
+The acceptance bar from the API redesign: ``import repro;
+repro.cluster(4)`` must yield a runnable system with no other imports,
+while the long-form construction (Simulator + build_lan +
+MessengersSystem) keeps working unchanged.
+"""
+
+import pytest
+
+import repro
+
+HELLO = """
+hello() {
+    create(ALL);
+    mark();
+}
+"""
+
+
+def _run_hello(c):
+    seen = []
+
+    @c.natives.register
+    def mark(env):
+        seen.append(env.daemon.name)
+        return 0
+
+    c.inject(HELLO, daemon="host0")
+    c.run_to_quiescence()
+    return seen
+
+
+class TestCluster:
+    def test_single_import_runnable(self):
+        c = repro.cluster(4)
+        seen = _run_hello(c)
+        # create(ALL) replicates onto every *neighbouring* daemon.
+        assert sorted(seen) == ["host1", "host2", "host3"]
+        assert c.now > 0
+
+    def test_shape(self):
+        c = repro.cluster(3, name_prefix="ws")
+        assert len(c) == 3
+        assert c.host_names == ["ws0", "ws1", "ws2"]
+        assert c.host("ws1").name == "ws1"
+        assert c.n_tracks == 4  # 3 hosts + the wire
+
+    def test_layers_are_lazy(self):
+        c = repro.cluster(2)
+        assert c._messengers is None and c._mp is None
+        c.messengers
+        assert c._messengers is not None and c._mp is None
+        c.mp
+        assert c._mp is not None
+
+    def test_mixed_layers_share_the_wire(self):
+        c = repro.cluster(2)
+
+        def task(ctx):
+            yield from ctx.compute(1000)
+            ctx.exit()
+
+        tid = c.spawn(task)
+        c.mp.run_until_task(tid)
+        _run_hello(c)
+        assert c.messengers.network is c.mp.network
+
+    def test_ring_topology(self):
+        c = repro.cluster(4, topology="ring")
+        graph = c.messengers.daemon_graph
+        # In a 4-ring each daemon has exactly 2 neighbours.
+        for name in c.host_names:
+            assert len(graph.neighbors(name)) == 2
+
+    def test_ethernet_topology_is_complete(self):
+        c = repro.cluster(4)
+        graph = c.messengers.daemon_graph
+        for name in c.host_names:
+            assert len(graph.neighbors(name)) == 3
+
+    def test_prebuilt_daemon_network(self):
+        base = repro.cluster(3)
+        graph = repro.DaemonNetwork.ring(base.host_names)
+        c = repro.Cluster(3, topology=graph)
+        assert c.messengers.daemon_graph is graph
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            repro.cluster(2, topology="torus")
+
+    def test_custom_costs(self):
+        from dataclasses import replace
+
+        slow = replace(repro.DEFAULT_COSTS, hop_dispatch_s=10e-3)
+        fast = repro.cluster(2)
+        slowc = repro.cluster(2, costs=slow)
+        _run_hello(fast)
+        _run_hello(slowc)
+        assert slowc.now > fast.now
+        assert slowc.costs is slow
+
+    def test_shell_and_tracer(self):
+        c = repro.cluster(2)
+        tracer = c.tracer()
+        shell = c.shell()
+        out = shell.execute("inject! { f() { create(ALL); } }")
+        assert "injected" in out
+        shell.execute("run")
+        assert len(tracer.events) > 0
+
+
+class TestClusterMetrics:
+    def test_metrics_off_by_default(self):
+        c = repro.cluster(2)
+        assert c.metrics is None
+        assert c.snapshot() == {}
+        with pytest.raises(RuntimeError):
+            c.breakdown()
+
+    def test_metrics_true_builds_registry(self):
+        c = repro.cluster(2, metrics=True)
+        _run_hello(c)
+        assert c.snapshot()["des.events_executed"] > 0
+        breakdown = c.breakdown()
+        assert breakdown["n_tracks"] == 3
+        assert breakdown["accounted_s"] > 0
+        # The hello run interprets MCL and dispatches hops (no numpy
+        # compute), so those categories must appear in the report.
+        assert "interpretation" in c.report()
+        assert "dispatch" in c.report()
+
+    def test_metrics_accepts_registry(self):
+        registry = repro.MetricsRegistry(opcode_counts=True)
+        c = repro.cluster(2, metrics=registry)
+        assert c.metrics is registry
+        _run_hello(c)
+        assert any("opcode=" in name for name in registry.snapshot())
+
+
+class TestExperiment:
+    def test_fluent_run(self):
+        result = (
+            repro.Experiment()
+            .hosts(3)
+            .topology("ring")
+            .metrics()
+            .run(_run_hello)
+        )
+        assert sorted(result.value) == ["host1", "host2"]
+        assert result.elapsed_s > 0
+        assert result.breakdown is not None
+        assert "virtual-time cost breakdown" in result.report()
+        assert result.cluster is not None
+
+    def test_without_metrics(self):
+        result = repro.Experiment().hosts(2).run(_run_hello)
+        assert result.breakdown is None
+        assert result.report() == ""
+        assert result.snapshot == {}
+
+    def test_build_only(self):
+        c = repro.Experiment().hosts(5).name_prefix("n").build()
+        assert len(c) == 5
+        assert c.host_names[0] == "n0"
+
+
+class TestTopLevelExports:
+    def test_facade_names(self):
+        for name in ("cluster", "Cluster", "Experiment", "ExperimentResult"):
+            assert hasattr(repro, name)
+
+    def test_layer_names(self):
+        for name in (
+            "Simulator", "MessengersSystem", "MessagePassingSystem",
+            "DaemonNetwork", "NativeRegistry", "Shell", "Tracer",
+            "PackBuffer", "UnpackBuffer", "Network", "build_lan",
+            "CostModel", "CacheModel", "DEFAULT_COSTS", "sparc5_costs",
+        ):
+            assert hasattr(repro, name)
+
+    def test_obs_names(self):
+        for name in (
+            "CATEGORIES", "MetricsRegistry", "cost_breakdown",
+            "format_breakdown", "to_chrome_trace", "to_jsonl",
+            "dump_chrome_trace",
+        ):
+            assert hasattr(repro, name)
+
+    def test_all_is_sorted_and_complete(self):
+        assert repro.__all__ == sorted(repro.__all__)
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+
+class TestLongFormStillWorks:
+    def test_manual_construction(self):
+        from repro.des import Simulator
+        from repro.messengers import MessengersSystem
+        from repro.netsim import build_lan
+
+        sim = Simulator()
+        system = MessengersSystem(build_lan(sim, 2))
+        system.inject("f() { create(ALL); }")
+        system.run_to_quiescence()
+        assert system.logical.node_count() == 3
