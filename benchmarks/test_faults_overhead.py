@@ -1,0 +1,79 @@
+"""FAULTS-GUARD — the fault layer's wall-clock overhead budget.
+
+The pay-only-when-perturbing contract: an attached but *empty*
+:class:`~repro.faults.FaultPlan` must cost essentially nothing.  A plan
+with no loss rates and no partitions never arms the reliable-delivery
+machinery (no sequence numbers, no acks, no retransmit timers), and a
+plan with no crash events never arms hop-boundary checkpointing — so
+the only residual work is one ``faults is None`` style check per
+packet, exactly like the observability layer's ``sim.metrics is None``.
+
+Budget (wall clock, min-of-N so scheduler noise can only help): an
+empty plan attached <= 2% over no plan at all.  Simulated seconds must
+be *identical* — an empty plan may never perturb the timeline.
+"""
+
+import time
+
+import pytest
+
+from repro.apps.mandelbrot.kernel import TaskGrid
+from repro.apps.mandelbrot.messengers_app import run_messengers
+from repro.apps.mandelbrot.pvm_app import run_pvm
+from repro.faults import FaultPlan
+
+pytestmark = pytest.mark.obs_guard
+
+GRID = TaskGrid(96, 4)
+PROCS = 3
+REPEATS = 3
+
+
+def _timed(runner, plan):
+    start = time.perf_counter()
+    if plan is None:
+        result = runner(GRID, PROCS)
+    else:
+        result = runner(GRID, PROCS, faults=plan, seed=7)
+    return time.perf_counter() - start, result.seconds
+
+
+@pytest.fixture(scope="module", params=[run_messengers, run_pvm],
+                ids=["messengers", "pvm"])
+def timings(request):
+    runner = request.param
+    # Warm up once: the Mandelbrot kernel memoizes block computations,
+    # so the first run pays numpy + compilation costs the rest don't.
+    _timed(runner, None)
+    walls: dict[str, float] = {}
+    sims: dict[str, float] = {}
+    # Interleave the modes so drift hits both equally; keep the minimum.
+    for _ in range(REPEATS):
+        for name, plan in (("off", None), ("empty", FaultPlan())):
+            wall, simulated = _timed(runner, plan)
+            walls[name] = min(walls.get(name, float("inf")), wall)
+            sims[name] = simulated
+    return walls, sims
+
+
+class TestFaultsOverhead:
+    def test_empty_plan_does_not_perturb_timeline(self, timings):
+        _, sims = timings
+        assert sims["empty"] == sims["off"]
+
+    def test_empty_plan_within_budget(self, timings):
+        walls, _ = timings
+        assert walls["empty"] <= walls["off"] * 1.02 + 0.010
+
+
+class TestFaultsGating:
+    def test_empty_plan_arms_nothing(self):
+        plan = FaultPlan()
+        assert plan.empty
+        assert not plan.lossy
+        assert not plan.can_crash
+
+    def test_loss_only_plan_does_not_checkpoint(self):
+        plan = FaultPlan().drop(0.05)
+        assert plan.lossy
+        assert not plan.can_crash

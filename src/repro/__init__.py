@@ -24,7 +24,11 @@ Subpackages
     extension.
 ``repro.bench``
     Sweep drivers and reporting for regenerating every paper artifact.
-
+``repro.faults``
+    Deterministic fault injection: timed/probabilistic fault plans
+    (packet loss, duplication, corruption, partitions, host crashes and
+    restarts), the reliable-delivery layer they force, and the recovery
+    machinery's counters.
 ``repro.obs``
     Cross-cutting observability: metrics, the virtual-time cost
     ledger, Chrome-trace/JSONL exporters.
@@ -43,6 +47,7 @@ EXPERIMENTS.md for paper-versus-measured results.
 
 from .des import Simulator
 from .facade import Cluster, Experiment, ExperimentResult, cluster
+from .faults import FaultEvent, FaultInjector, FaultPlan, RetransmitPolicy
 from .messengers import (
     DaemonNetwork,
     MessengersSystem,
@@ -80,12 +85,16 @@ __all__ = [
     "DaemonNetwork",
     "Experiment",
     "ExperimentResult",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "MessagePassingSystem",
     "MessengersSystem",
     "MetricsRegistry",
     "NativeRegistry",
     "Network",
     "PackBuffer",
+    "RetransmitPolicy",
     "Shell",
     "Simulator",
     "Tracer",

@@ -60,12 +60,17 @@ def run_messengers(
     n_workers: int,
     costs: CostModel = DEFAULT_COSTS,
     metrics=None,
+    faults=None,
+    seed: int = 0,
 ) -> MessengersMandelbrotResult:
     """Run the Figure-3 program; returns image + simulated seconds.
 
     ``metrics`` optionally attaches a
     :class:`~repro.obs.MetricsRegistry` to the run's simulator
     (``python -m repro stats`` uses this for the cost breakdown).
+    ``faults`` optionally attaches a :class:`~repro.faults.FaultPlan`
+    (replayed deterministically from ``seed``); recovery statistics then
+    land in ``result.stats["faults"]``.
     """
     if n_workers < 1:
         raise ValueError("need at least one worker")
@@ -75,6 +80,11 @@ def run_messengers(
     # host0 carries the central node; one worker daemon per processor.
     network = build_lan(sim, n_workers + 1, costs)
     system = MessengersSystem(network)
+    injector = None
+    if faults is not None:
+        from ...faults import FaultInjector
+
+        injector = FaultInjector(network, faults, seed=seed)
 
     results: dict[int, np.ndarray] = {}
     central = system.daemon("host0").init_node
@@ -111,6 +121,9 @@ def run_messengers(
     elapsed = system.run_to_quiescence()
 
     local, remote = system.total_hops()
+    stats = {}
+    if injector is not None:
+        stats["faults"] = dict(injector.counts)
     return MessengersMandelbrotResult(
         image=grid.assemble(results),
         seconds=elapsed,
@@ -118,4 +131,5 @@ def run_messengers(
         hops_local=local,
         hops_remote=remote,
         instructions=system.total_instructions(),
+        stats=stats,
     )

@@ -27,6 +27,7 @@ __all__ = ["PvmMandelbrotResult", "run_pvm"]
 
 _TAG_TASK = 1
 _TAG_RESULT = 2
+_TAG_NOTIFY = 3
 
 
 @dataclass
@@ -53,16 +54,27 @@ def _worker(ctx, grid: TaskGrid):
 
 
 def _manager(ctx, grid: TaskGrid, n_workers: int, results: dict):
-    """Figure 2, manager(): spawn, pump tasks, collect, kill."""
+    """Figure 2, manager(): spawn, pump tasks, collect, kill.
+
+    Beyond Figure 2, the manager subscribes to ``pvm_notify``-style
+    TaskExit messages and re-queues the block a dead worker was holding
+    — the retry path a fault-tolerant PVM program needs once the fault
+    layer can crash worker hosts.  In a fault-free run no notification
+    ever arrives and the send/recv sequence is exactly Figure 2's.
+    """
     worker_hosts = [f"host{w + 1}" for w in range(n_workers)]
     workers = yield from ctx.spawn(
         _worker, grid, count=n_workers, hosts=worker_hosts
     )
+    ctx.notify_task_exit(workers, tag=_TAG_NOTIFY)
 
-    tasks = iter(range(len(grid)))
+    pending = list(range(len(grid)))
+    assigned: dict[int, int] = {}  # worker tid -> block in its hands
+    idle: list[int] = []
+    dead: set[int] = set()
 
     def next_task():
-        return next(tasks, None)
+        return pending.pop(0) if pending else None
 
     def task_buffer(block_index):
         buf = PackBuffer()
@@ -72,31 +84,48 @@ def _manager(ctx, grid: TaskGrid, n_workers: int, results: dict):
         return buf
 
     # Prime every worker with one task (lines 4-5).
-    outstanding = 0
     for worker in workers:
         block_index = next_task()
         if block_index is None:
             break
         yield from ctx.send(worker, task_buffer(block_index), tag=_TAG_TASK)
-        outstanding += 1
+        assigned[worker] = block_index
 
-    # Main pump (lines 6-10): receive a result, hand out the next task.
-    while True:
-        block_index = next_task()
-        if block_index is None:
-            break
-        message = yield from ctx.recv(src=ANY, tag=_TAG_RESULT)
-        done_index = message.buffer.unpack_int()
-        results[done_index] = message.buffer.unpack_array()
-        yield from ctx.send(
-            message.src, task_buffer(block_index), tag=_TAG_TASK
-        )
+    # Main pump (lines 6-10, plus the notify branch): collect results
+    # and hand out work until every block is accounted for.
+    while len(results) < len(grid):
+        message = yield from ctx.recv(src=ANY, tag=ANY)
+        if message.tag == _TAG_RESULT:
+            done_index = message.buffer.unpack_int()
+            results[done_index] = message.buffer.unpack_array()
+            assigned.pop(message.src, None)
+            if message.src in dead:
+                continue  # posthumous result; don't feed a ghost
+            block_index = next_task()
+            if block_index is not None:
+                yield from ctx.send(
+                    message.src, task_buffer(block_index), tag=_TAG_TASK
+                )
+                assigned[message.src] = block_index
+            else:
+                idle.append(message.src)
+        elif message.tag == _TAG_NOTIFY:
+            dead_tid = message.buffer.unpack_int()
+            dead.add(dead_tid)
+            block_index = assigned.pop(dead_tid, None)
+            if block_index is not None and block_index not in results:
+                pending.append(block_index)
+            if dead_tid in idle:
+                idle.remove(dead_tid)
+            while pending and idle:
+                worker = idle.pop(0)
+                block_index = next_task()
+                yield from ctx.send(
+                    worker, task_buffer(block_index), tag=_TAG_TASK
+                )
+                assigned[worker] = block_index
 
-    # Drain the last results and kill the workers (lines 11-15).
-    for _ in range(outstanding):
-        message = yield from ctx.recv(src=ANY, tag=_TAG_RESULT)
-        done_index = message.buffer.unpack_int()
-        results[done_index] = message.buffer.unpack_array()
+    # Kill the workers (lines 11-15).
     for worker in workers:
         ctx.kill(worker)
     ctx.exit()
@@ -107,12 +136,17 @@ def run_pvm(
     n_workers: int,
     costs: CostModel = DEFAULT_COSTS,
     metrics=None,
+    faults=None,
+    seed: int = 0,
 ) -> PvmMandelbrotResult:
     """Run the Figure-2 program; returns image + simulated seconds.
 
     ``metrics`` optionally attaches a
     :class:`~repro.obs.MetricsRegistry` to the run's simulator
-    (``python -m repro stats --system pvm`` uses this).
+    (``python -m repro stats --system pvm`` uses this).  ``faults``
+    optionally attaches a :class:`~repro.faults.FaultPlan` (replayed
+    deterministically from ``seed``); recovery statistics then land in
+    ``result.stats["faults"]``.
     """
     if n_workers < 1:
         raise ValueError("need at least one worker")
@@ -121,14 +155,23 @@ def run_pvm(
         sim.metrics = metrics
     network = build_lan(sim, n_workers + 1, costs)  # host0 = manager
     system = MessagePassingSystem(network)
+    injector = None
+    if faults is not None:
+        from ...faults import FaultInjector
+
+        injector = FaultInjector(network, faults, seed=seed)
     results: dict[int, np.ndarray] = {}
     manager_tid = system.spawn(_manager, grid, n_workers, results)
     system.run_until_task(manager_tid)
     elapsed = sim.now
     sim.run()  # let worker-kill interrupts settle
+    stats = {}
+    if injector is not None:
+        stats["faults"] = dict(injector.counts)
     return PvmMandelbrotResult(
         image=grid.assemble(results),
         seconds=elapsed,
         n_workers=n_workers,
         messages=network.delivered,
+        stats=stats,
     )

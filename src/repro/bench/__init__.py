@@ -6,6 +6,7 @@ print the regenerated tables/figures and assert the paper's qualitative
 claims.
 """
 
+from .faults_experiments import PAPER_LOSS_RATES, run_loss_sweep
 from .mandelbrot_experiments import (
     MandelbrotSweep,
     PAPER_GRIDS,
@@ -40,6 +41,7 @@ __all__ = [
     "PAPER_BLOCK_SIZES_2X2",
     "PAPER_BLOCK_SIZES_3X3",
     "PAPER_GRIDS",
+    "PAPER_LOSS_RATES",
     "PAPER_PROCESSOR_COUNTS",
     "Series",
     "ShapeViolation",
@@ -52,4 +54,5 @@ __all__ = [
     "crossover_interval",
     "format_table",
     "run_figure",
+    "run_loss_sweep",
 ]

@@ -1,0 +1,83 @@
+"""Fault-tolerance experiment driver: Figure 4 under packet loss.
+
+The paper's measurements assume a perfectly reliable LAN.  This driver
+re-runs the Figure-4 Mandelbrot workload with a deterministic
+:class:`~repro.faults.FaultPlan` dropping a fraction of all packets, and
+reports what reliability costs each system: the retransmit/ack machinery
+both opt into once a lossy plan is attached, paid per message for PVM
+(many small manager/worker messages) versus per hop for MESSENGERS
+(fewer, larger state migrations).
+
+Every point checks that the computed image is bit-identical to the
+fault-free run — loss may slow a system down, never corrupt its answer.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..apps.mandelbrot import TaskGrid, run_messengers, run_pvm
+from ..netsim import CostModel, DEFAULT_COSTS
+
+__all__ = ["PAPER_LOSS_RATES", "run_loss_sweep"]
+
+#: Loss rates reported in BENCH_faults.json: clean wire, a bad cable,
+#: a failing switch.
+PAPER_LOSS_RATES = (0.0, 0.01, 0.05)
+
+
+def run_loss_sweep(
+    image_size: int = 320,
+    grid_size: int = 8,
+    procs: int = 4,
+    loss_rates: Sequence[float] = PAPER_LOSS_RATES,
+    seed: int = 7,
+    costs: CostModel = DEFAULT_COSTS,
+) -> dict:
+    """Figure-4 Mandelbrot at increasing packet-loss rates.
+
+    Returns a JSON-ready dict: per system and loss rate, the simulated
+    seconds, the slowdown over the fault-free run, the fault counters,
+    and whether the image stayed bit-identical.
+    """
+    from ..faults import FaultPlan
+
+    grid = TaskGrid(image_size, grid_size)
+    runners = {"messengers": run_messengers, "pvm": run_pvm}
+    systems: dict = {}
+    for name, runner in runners.items():
+        baseline = runner(grid, procs, costs)
+        rows = []
+        for rate in loss_rates:
+            if rate == 0.0:
+                result, stats = baseline, {}
+            else:
+                result = runner(
+                    grid,
+                    procs,
+                    costs,
+                    faults=FaultPlan().drop(rate),
+                    seed=seed,
+                )
+                stats = result.stats["faults"]
+            rows.append(
+                {
+                    "loss_rate": rate,
+                    "seconds": result.seconds,
+                    "slowdown": result.seconds / baseline.seconds,
+                    "image_identical": bool(
+                        (result.image == baseline.image).all()
+                    ),
+                    "faults": dict(sorted(stats.items())),
+                }
+            )
+        systems[name] = rows
+    return {
+        "workload": {
+            "image_size": image_size,
+            "grid": grid_size,
+            "procs": procs,
+            "seed": seed,
+        },
+        "systems": systems,
+    }

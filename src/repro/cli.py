@@ -15,9 +15,15 @@ Commands
     (where did the time go — copies? wire? interpretation? compute?),
     the key counters, and writes a Chrome ``trace_event`` JSON
     (load it at ``chrome://tracing`` or https://ui.perfetto.dev).
+``chaos [--seed N] [--loss R] [--crash-host H]``
+    Run the Figure-4 Mandelbrot workload on both systems under a
+    deterministic fault plan (packet loss + one mid-run worker-host
+    crash) and print the recovery counters.  The image must come out
+    bit-identical to the fault-free run on both systems; the counters
+    are reproducible for a given ``--seed``.
 ``selftest``
-    Run the repository's test suite plus the observability overhead
-    guard (requires pytest).
+    Run the repository's test suite plus the observability and
+    fault-path overhead guards (requires pytest).
 ``info``
     Version, package inventory and cost-model summary.
 """
@@ -162,15 +168,56 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .apps.mandelbrot.kernel import TaskGrid
+    from .apps.mandelbrot.messengers_app import run_messengers
+    from .apps.mandelbrot.pvm_app import run_pvm
+    from .faults import FaultPlan
+
+    grid = TaskGrid(args.image, args.grid)
+    crash_host = args.crash_host or f"host{min(2, args.procs)}"
+    print(
+        f"chaos: mandelbrot {args.image}x{args.image} "
+        f"({args.grid}x{args.grid} blocks, {args.procs} procs), "
+        f"loss={args.loss:g}, crash {crash_host} mid-run, seed={args.seed}"
+    )
+    status = 0
+    for label, runner in (
+        ("messengers", run_messengers),
+        ("pvm", run_pvm),
+    ):
+        clean = runner(grid, args.procs)
+        plan = FaultPlan().drop(args.loss).crash(
+            crash_host, at=0.5 * clean.seconds
+        )
+        faulty = runner(grid, args.procs, faults=plan, seed=args.seed)
+        identical = (
+            faulty.image.shape == clean.image.shape
+            and bool((faulty.image == clean.image).all())
+        )
+        verdict = "bit-identical" if identical else "DIVERGED"
+        print()
+        print(
+            f"{label}: clean {clean.seconds:.4f}s -> "
+            f"faulty {faulty.seconds:.4f}s, image {verdict}"
+        )
+        for name, value in sorted(faulty.stats["faults"].items()):
+            print(f"  faults.{name:<28} {value}")
+        if not identical:
+            status = 1
+    return status
+
+
 def _cmd_selftest(args) -> int:
     import subprocess
     from pathlib import Path
 
     root = Path(__file__).resolve().parents[2]
     targets = [str(root / "tests")]
-    guard = root / "benchmarks" / "test_obs_overhead.py"
-    if guard.exists():
-        targets.append(str(guard))
+    for guard_name in ("test_obs_overhead.py", "test_faults_overhead.py"):
+        guard = root / "benchmarks" / guard_name
+        if guard.exists():
+            targets.append(str(guard))
     command = [sys.executable, "-m", "pytest", "-q", *targets]
     print("selftest:", " ".join(command))
     return subprocess.call(command, cwd=root)
@@ -236,8 +283,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Chrome trace output path")
     stats.set_defaults(func=_cmd_stats)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="Fig-4 workload under packet loss + a worker crash",
+    )
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="fault-plan seed (default 7)")
+    chaos.add_argument("--loss", type=float, default=0.05,
+                       help="packet drop probability (default 0.05)")
+    chaos.add_argument("--crash-host", default=None,
+                       help="host to crash mid-run (default: a worker)")
+    chaos.add_argument("--image", type=int, default=64,
+                       help="image size in pixels (default 64)")
+    chaos.add_argument("--grid", type=int, default=4,
+                       help="task grid side (default 4 -> 16 blocks)")
+    chaos.add_argument("--procs", type=int, default=3,
+                       help="worker processors (default 3)")
+    chaos.set_defaults(func=_cmd_chaos)
+
     selftest = sub.add_parser(
-        "selftest", help="run the test suite + obs overhead guard"
+        "selftest",
+        help="run the test suite + obs/faults overhead guards",
     )
     selftest.set_defaults(func=_cmd_selftest)
 

@@ -16,6 +16,7 @@ from .errors import (
     EventAlreadyTriggered,
     Interrupt,
     ProcessDead,
+    SimDeadlockError,
     SimulationError,
     StopSimulation,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "ProcessDead",
     "Resource",
     "RngRegistry",
+    "SimDeadlockError",
     "SimulationError",
     "Simulator",
     "StopSimulation",

@@ -20,7 +20,12 @@ import heapq
 import itertools
 from typing import Any, Callable, Iterable, Optional
 
-from .errors import EventAlreadyTriggered, SimulationError, StopSimulation
+from .errors import (
+    EventAlreadyTriggered,
+    SimDeadlockError,
+    SimulationError,
+    StopSimulation,
+)
 
 __all__ = [
     "Event",
@@ -241,6 +246,8 @@ class Simulator:
         self._active_process = None
         self._metrics = None
         self._metrics_events = None
+        #: Live (unfinished) processes, for deadlock detection at drain.
+        self._live_processes: set = set()
 
     # -- clock -------------------------------------------------------------
 
@@ -287,11 +294,16 @@ class Simulator:
         """Create an event that fires ``delay`` time units from now."""
         return Timeout(self, delay, value)
 
-    def process(self, generator) -> "Process":
-        """Start a new process running ``generator``."""
+    def process(self, generator, daemon: bool = False) -> "Process":
+        """Start a new process running ``generator``.
+
+        ``daemon=True`` marks a service loop that legitimately waits
+        forever (a transmit pump, a delivery daemon, ...): such processes
+        do not count as deadlocked when the event queue drains.
+        """
         from .process import Process
 
-        return Process(self, generator)
+        return Process(self, generator, daemon=daemon)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Event that fires when any of ``events`` fires."""
@@ -383,14 +395,51 @@ class Simulator:
                 raise until._value
             return stop.value
 
+        self._check_deadlock()
         if isinstance(until, Event) and not until.triggered:
             raise SimulationError(
                 "run(until=event) finished but the event never triggered"
             )
         return None
 
+    def _check_deadlock(self) -> None:
+        """Raise :class:`SimDeadlockError` if the drained queue left
+        non-daemon processes parked on events that can no longer fire."""
+        blocked = sorted(
+            (p for p in self._live_processes if p.is_alive and not p.daemon),
+            key=lambda p: p.name,
+        )
+        if blocked:
+            raise SimDeadlockError(
+                [(p.name, _describe_wait(p)) for p in blocked]
+            )
+
     def _stop_callback(self, event: Event) -> None:
         raise StopSimulation(event._value if event._ok else None)
 
     def __repr__(self) -> str:
         return f"<Simulator now={self._now} queued={len(self._queue)}>"
+
+
+#: Human-readable labels for the internal wait-event classes, so a
+#: :class:`SimDeadlockError` says "store.get" instead of "_Get".
+_WAIT_LABELS = {
+    "_Get": "store.get",
+    "_FilterGet": "filter_store.get",
+    "_Put": "store.put",
+    "_Request": "resource.request",
+    "Timeout": "timeout",
+    "AnyOf": "any_of",
+    "AllOf": "all_of",
+    "Event": "event",
+}
+
+
+def _describe_wait(process) -> str:
+    target = process.target
+    if target is None:
+        return "(nothing — never parked)"
+    kind = type(target).__name__
+    if kind == "Process":
+        return f"process {target.name!r}"
+    return _WAIT_LABELS.get(kind, kind)

@@ -41,5 +41,32 @@ class EventAlreadyTriggered(SimulationError):
     """An event was succeeded or failed more than once."""
 
 
+class SimDeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting.
+
+    Before fault injection existed this failure mode was a *silent* hang:
+    ``Simulator.run()`` would simply return with part of the workload
+    still parked on events that can no longer fire (e.g. a ``recv`` whose
+    sender's packet was dropped).  The simulator now raises this error
+    instead, listing every blocked non-daemon process together with what
+    it was waiting for.
+
+    ``blocked`` is a list of ``(process_name, wait_reason)`` pairs;
+    service loops marked ``daemon=True`` (transmit pumps, delivery
+    daemons, interpreter loops, ...) are expected to wait forever and are
+    exempt from the check.
+    """
+
+    def __init__(self, blocked):
+        self.blocked = list(blocked)
+        lines = "; ".join(
+            f"{name} waiting on {reason}" for name, reason in self.blocked
+        )
+        super().__init__(
+            f"simulation deadlocked: event queue drained with "
+            f"{len(self.blocked)} blocked process(es): {lines}"
+        )
+
+
 class ProcessDead(SimulationError):
     """An operation targeted a process that has already terminated."""

@@ -34,7 +34,7 @@ class Process(Event):
     process can wait for another simply by yielding it.
     """
 
-    def __init__(self, sim, generator):
+    def __init__(self, sim, generator, daemon: bool = False):
         if not isinstance(generator, GeneratorType):
             raise TypeError(
                 f"process() needs a generator, got {generator!r}; "
@@ -42,7 +42,11 @@ class Process(Event):
             )
         super().__init__(sim)
         self._generator = generator
+        #: Daemon processes (service loops) may wait forever without
+        #: tripping the simulator's drain-time deadlock check.
+        self.daemon = daemon
         self._target: Optional[Event] = Initialize(sim, self)
+        sim._live_processes.add(self)
 
     @property
     def target(self) -> Optional[Event]:
@@ -105,10 +109,12 @@ class Process(Event):
                         next_target = self._generator.throw(event._value)
                 except StopIteration as stop:
                     self._target = None
+                    self.sim._live_processes.discard(self)
                     self.succeed(stop.value)
                     return
                 except BaseException as error:
                     self._target = None
+                    self.sim._live_processes.discard(self)
                     self.fail(error)
                     return
 

@@ -166,6 +166,18 @@ class Store:
             return True, item
         return False, None
 
+    def clear(self) -> list:
+        """Drop and return everything currently stored.
+
+        Waiting getters stay parked (their events remain pending); the
+        fault layer uses this to model volatile queues lost in a host
+        crash.
+        """
+        items = list(self._items)
+        self._items.clear()
+        self._admit_putters()
+        return items
+
     # -- internals ---------------------------------------------------------------
 
     def _store_item(self, item: Any) -> None:

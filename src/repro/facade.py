@@ -63,6 +63,13 @@ class Cluster:
         ``True`` to attach a fresh :class:`~repro.obs.MetricsRegistry`
         to the simulator (or pass a registry you built yourself).
         Default off — the zero-overhead path.
+    faults:
+        A :class:`~repro.faults.FaultPlan` to attach.  Packet loss,
+        duplication, corruption, partitions, crashes, and restarts then
+        replay deterministically from ``seed``; recovery counters land
+        in :attr:`fault_stats`.
+    seed:
+        Root seed for the fault plan's random streams.
     name_prefix:
         Host names are ``f"{name_prefix}{index}"``.
     """
@@ -74,6 +81,8 @@ class Cluster:
         costs: Optional[CostModel] = None,
         cpu_scale: float = 1.0,
         metrics: Union[bool, MetricsRegistry] = False,
+        faults: Any = None,
+        seed: int = 0,
         name_prefix: str = "host",
     ):
         self.sim = Simulator()
@@ -98,6 +107,11 @@ class Cluster:
         self._topology = topology
         self._messengers = None
         self._mp = None
+        self.injector = None
+        if faults is not None:
+            from .faults import FaultInjector
+
+            self.injector = FaultInjector(self.network, faults, seed=seed)
 
     # -- construction of the software layers (lazy) -------------------------
 
@@ -211,6 +225,11 @@ class Cluster:
         """Metric snapshot (empty dict when metrics are off)."""
         return self.metrics.snapshot() if self.metrics is not None else {}
 
+    @property
+    def fault_stats(self) -> dict:
+        """Injection/recovery counters (empty dict without a fault plan)."""
+        return dict(self.injector.counts) if self.injector is not None else {}
+
     def breakdown(self) -> dict:
         """Per-category cost breakdown of the run so far.
 
@@ -291,6 +310,8 @@ class Experiment:
         self._costs: Optional[CostModel] = None
         self._cpu_scale = 1.0
         self._metrics: Union[bool, MetricsRegistry] = False
+        self._faults: Any = None
+        self._seed = 0
         self._name_prefix = "host"
 
     # -- builder steps (each returns self) ----------------------------------
@@ -317,6 +338,16 @@ class Experiment:
         self._metrics = registry
         return self
 
+    def faults(self, plan: Any) -> "Experiment":
+        """Attach a :class:`~repro.faults.FaultPlan` to the run."""
+        self._faults = plan
+        return self
+
+    def seed(self, seed: int) -> "Experiment":
+        """Root seed for the fault plan's random streams."""
+        self._seed = seed
+        return self
+
     def name_prefix(self, prefix: str) -> "Experiment":
         self._name_prefix = prefix
         return self
@@ -331,6 +362,8 @@ class Experiment:
             costs=self._costs,
             cpu_scale=self._cpu_scale,
             metrics=self._metrics,
+            faults=self._faults,
+            seed=self._seed,
             name_prefix=self._name_prefix,
         )
 

@@ -1,0 +1,233 @@
+"""Declarative, seed-reproducible fault plans.
+
+A :class:`FaultPlan` is a pure description — *what* can go wrong and
+*when* — with no reference to a simulator, network, or RNG.  The same
+plan object can therefore drive a MESSENGERS run and a PVM run (or two
+repetitions of either) and, combined with one root seed, reproduce the
+exact same fault sequence each time.  The half that *applies* a plan to
+a live :class:`~repro.netsim.transport.Network` is
+:class:`~repro.faults.injector.FaultInjector`.
+
+Two kinds of trouble are described:
+
+* **probabilistic packet perturbation** — per-link (or global) drop,
+  duplicate, and corrupt rates, sampled per packet from dedicated
+  :class:`~repro.des.rng.RngRegistry` streams;
+* **timed events** — host crash/restart, link partition/heal, and
+  daemon hang, applied at fixed virtual times.
+
+The builder methods all return ``self`` so plans read fluently::
+
+    plan = (FaultPlan()
+            .drop(0.05)                      # 5% loss on every link
+            .corrupt(0.01, src="host1")      # bad NIC on host1
+            .crash("host2", at=0.5)
+            .restart("host2", at=0.9))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["FaultEvent", "FaultPlan", "RetransmitPolicy"]
+
+#: Timed-event kinds understood by the injector.
+CRASH = "crash"
+RESTART = "restart"
+PARTITION = "partition"
+HEAL = "heal"
+HANG = "hang"
+
+_KINDS = (CRASH, RESTART, PARTITION, HEAL, HANG)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault: ``kind`` applied at virtual time ``at``.
+
+    ``host`` names the victim (or one partition endpoint); ``peer`` is
+    the second partition endpoint; ``duration`` is how long a ``hang``
+    seizes the host's CPU.
+    """
+
+    at: float
+    kind: str
+    host: Optional[str] = None
+    peer: Optional[str] = None
+    duration: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at}")
+        if self.kind == HANG and self.duration <= 0:
+            raise ValueError("hang needs a positive duration")
+
+
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """Tuning knobs for the reliable (ack/seq/retransmit) channel."""
+
+    timeout_s: float = 0.05       # first retransmit timeout
+    backoff: float = 2.0          # multiplier per unsuccessful attempt
+    jitter: float = 0.25          # +U(0, jitter) fraction, from des.rng
+    max_retries: int = 12         # then the packet is abandoned
+
+    def __post_init__(self):
+        if self.timeout_s <= 0:
+            raise ValueError("retransmit timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.max_retries < 1:
+            raise ValueError("need at least one retry")
+
+
+def _check_rate(rate: float) -> float:
+    rate = float(rate)
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    return rate
+
+
+class FaultPlan:
+    """Builder for a reproducible set of faults.
+
+    Rates are keyed by ``(src, dst)`` host-name pairs where ``None``
+    acts as a wildcard; the most specific key wins:
+    ``(src, dst)`` > ``(src, None)`` > ``(None, dst)`` > ``(None, None)``.
+    """
+
+    def __init__(self):
+        self.events: list[FaultEvent] = []
+        self.retransmit_policy = RetransmitPolicy()
+        self._drop: dict[tuple, float] = {}
+        self._duplicate: dict[tuple, float] = {}
+        self._corrupt: dict[tuple, float] = {}
+
+    # -- probabilistic perturbation ---------------------------------------
+
+    def _set_rate(self, table, rate, src, dst) -> "FaultPlan":
+        rate = _check_rate(rate)
+        key = (src, dst)
+        if rate == 0.0:
+            table.pop(key, None)  # a zero rate is the same as no rate
+        else:
+            table[key] = rate
+        return self
+
+    def drop(self, rate: float, src: str = None, dst: str = None):
+        """Lose packets on the wire with probability ``rate``."""
+        return self._set_rate(self._drop, rate, src, dst)
+
+    def duplicate(self, rate: float, src: str = None, dst: str = None):
+        """Deliver packets twice with probability ``rate``."""
+        return self._set_rate(self._duplicate, rate, src, dst)
+
+    def corrupt(self, rate: float, src: str = None, dst: str = None):
+        """Corrupt frames (dropped at the receiver's checksum) with
+        probability ``rate``."""
+        return self._set_rate(self._corrupt, rate, src, dst)
+
+    # -- timed events ------------------------------------------------------
+
+    def _add(self, event: FaultEvent) -> "FaultPlan":
+        self.events.append(event)
+        return self
+
+    def crash(self, host: str, at: float):
+        """Crash ``host`` at virtual time ``at`` (fail-stop: its CPU
+        rejects work, queued and arriving packets are lost)."""
+        return self._add(FaultEvent(at=at, kind=CRASH, host=host))
+
+    def restart(self, host: str, at: float):
+        """Restart a crashed ``host`` at ``at`` (ports re-register,
+        volatile state is gone)."""
+        return self._add(FaultEvent(at=at, kind=RESTART, host=host))
+
+    def partition(self, a: str, b: str, at: float):
+        """Cut the link between hosts ``a`` and ``b`` at ``at``."""
+        return self._add(FaultEvent(at=at, kind=PARTITION, host=a, peer=b))
+
+    def heal(self, a: str, b: str, at: float):
+        """Undo a partition between ``a`` and ``b`` at ``at``."""
+        return self._add(FaultEvent(at=at, kind=HEAL, host=a, peer=b))
+
+    def hang(self, host: str, at: float, duration: float):
+        """Seize ``host``'s CPU for ``duration`` seconds starting at
+        ``at`` (models a wedged daemon: the host is alive but busy)."""
+        return self._add(
+            FaultEvent(at=at, kind=HANG, host=host, duration=duration)
+        )
+
+    def retransmit(
+        self,
+        timeout_s: float = 0.05,
+        backoff: float = 2.0,
+        jitter: float = 0.25,
+        max_retries: int = 12,
+    ):
+        """Configure the reliable channel's retransmission behaviour."""
+        self.retransmit_policy = RetransmitPolicy(
+            timeout_s=timeout_s,
+            backoff=backoff,
+            jitter=jitter,
+            max_retries=max_retries,
+        )
+        return self
+
+    # -- queries (used by the injector and the transport fast paths) -------
+
+    def _rate_for(self, table, src: str, dst: str) -> float:
+        for key in ((src, dst), (src, None), (None, dst), (None, None)):
+            rate = table.get(key)
+            if rate is not None:
+                return rate
+        return 0.0
+
+    def drop_rate(self, src: str, dst: str) -> float:
+        return self._rate_for(self._drop, src, dst)
+
+    def duplicate_rate(self, src: str, dst: str) -> float:
+        return self._rate_for(self._duplicate, src, dst)
+
+    def corrupt_rate(self, src: str, dst: str) -> float:
+        return self._rate_for(self._corrupt, src, dst)
+
+    @property
+    def lossy(self) -> bool:
+        """True if the wire itself can misbehave (rates or partitions).
+
+        Reliable (ack/retransmit) delivery is switched on exactly when
+        this is true, so a crash-only plan pays no ack traffic and a
+        zero-fault plan costs nothing at all.
+        """
+        return bool(
+            self._drop
+            or self._duplicate
+            or self._corrupt
+            or any(e.kind in (PARTITION, HEAL) for e in self.events)
+        )
+
+    @property
+    def can_crash(self) -> bool:
+        """True if any host may crash — gates checkpointing overhead."""
+        return any(e.kind == CRASH for e in self.events)
+
+    @property
+    def empty(self) -> bool:
+        return not self.events and not self.lossy
+
+    def sorted_events(self) -> list[FaultEvent]:
+        """Events in application order (stable on insertion order)."""
+        return sorted(self.events, key=lambda e: e.at)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultPlan events={len(self.events)} "
+            f"drop={len(self._drop)} dup={len(self._duplicate)} "
+            f"corrupt={len(self._corrupt)}>"
+        )

@@ -89,6 +89,8 @@ class RunStats:
     gvt_advances: int = 0
     final_gvt: float = 0.0
     wallclock_s: float = 0.0  # simulated seconds
+    lps_killed: int = 0
+    orphans_cancelled: int = 0  # events to/from killed LPs annihilated
 
     @property
     def efficiency(self) -> float:

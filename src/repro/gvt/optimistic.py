@@ -62,6 +62,8 @@ class _Lp:
         self.last_key: tuple = (_NEG_INF, 0)
         #: Positive events annihilated before arrival (anti came first).
         self.doomed: set = set()
+        #: Killed by :meth:`TimeWarpKernel.kill_lp` (crash injection).
+        self.dead = False
 
     # -- queue helpers ----------------------------------------------------
 
@@ -142,8 +144,8 @@ class TimeWarpKernel:
         if not self._started:
             self._started = True
             for lp in self._lps.values():
-                self.sim.process(self._lp_loop(lp))
-            self.sim.process(self._gvt_controller())
+                self.sim.process(self._lp_loop(lp), daemon=True)
+            self.sim.process(self._gvt_controller(), daemon=True)
         if self._outstanding == 0:
             self._finish()
         self.sim.run(until=self._done)
@@ -154,6 +156,46 @@ class TimeWarpKernel:
     def state_of(self, name: str) -> dict:
         """Final (or current) state of one LP."""
         return self._lps[name].spec.state
+
+    def kill_lp(self, name: str) -> None:
+        """Crash one LP mid-run (fault injection).
+
+        Its pending events are discarded, and anti-messages go out for
+        every *uncommitted* event it ever sent (timestamp > GVT) — those
+        sends are orphans of speculative work that can no longer be
+        confirmed, and leaving them uncancelled would let downstream LPs
+        commit state derived from a vanished sender.  Committed history
+        (≤ GVT) stands, exactly as fossil collection guarantees.
+        """
+        try:
+            lp = self._lps[name]
+        except KeyError:
+            raise VirtualTimeKernelError(f"unknown LP {name!r}") from None
+        if lp.dead:
+            return
+        lp.dead = True
+        self.stats.lps_killed += 1
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.count("gvt.lps_killed")
+            metrics.instant(
+                "gvt", "lp_killed", self.sim.now, args={"lp": name}
+            )
+        while lp.pending:
+            lp.pop_pending()
+            self.stats.orphans_cancelled += 1
+            if metrics is not None:
+                metrics.count("gvt.orphans_cancelled")
+            self._outstanding_changed(-1)
+        for entry in lp.processed:
+            for output in entry.outputs:
+                if output.timestamp > self.gvt:
+                    self.stats.orphans_cancelled += 1
+                    if metrics is not None:
+                        metrics.count("gvt.orphans_cancelled")
+                    self._send(output.as_anti())
+        lp.processed.clear()
+        lp.doomed.clear()
 
     # -- internals ------------------------------------------------------------
 
@@ -189,7 +231,15 @@ class TimeWarpKernel:
         lp = self._lp_of(event)
         # Absorb first, then settle the in-transit accounting, so that
         # quiescence cannot be declared between arrival and absorption.
-        self._absorb(lp, event)
+        if lp.dead:
+            # Mail for a crashed LP — positive or anti — is an orphan;
+            # the kernel already cancelled everything the LP owed.
+            self.stats.orphans_cancelled += 1
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.count("gvt.orphans_cancelled")
+        else:
+            self._absorb(lp, event)
         del self._in_transit[event.uid if not event.anti else -event.uid]
         self._outstanding_changed(-1)
 
@@ -273,6 +323,8 @@ class TimeWarpKernel:
         state_save_charge = spec.state_bytes * costs.state_save_per_byte_s
         per_event_charge = state_save_charge + spec.cost_s
         while True:
+            if lp.dead:
+                return
             if not lp.pending:
                 yield lp.inbox.get()  # wake-up token
                 continue

@@ -70,10 +70,14 @@ class Daemon:
         self.sim = system.sim
         self.ready: Store = Store(self.sim)
         self.stats = DaemonStats()
+        #: Set by the system's crash listener while this daemon's host is
+        #: down; cleared on restart.  A dead daemon neither receives nor
+        #: dispatches Messengers.
+        self.dead = False
         #: The permanent ``init`` node anchored on this daemon (§2.1).
         self.init_node: Optional[LogicalNode] = None
-        self.sim.process(self._arrival_pump())
-        self.sim.process(self._interpreter_loop())
+        self.sim.process(self._arrival_pump(), daemon=True)
+        self.sim.process(self._interpreter_loop(), daemon=True)
 
     @property
     def name(self) -> str:
@@ -107,6 +111,11 @@ class Daemon:
                 self.stats.arrivals += 1
                 if metrics is not None:
                     metrics.count("messengers.arrivals")
+                if not messenger.alive:
+                    # Killed in transit by crash recovery and already
+                    # re-dispatched elsewhere; drop the stale copy.
+                    continue
+                self.system.checkpoint_delivered(messenger)
                 self.system.trace(messenger, "arrive", self.name)
                 self.enqueue_ready(messenger)
             elif kind == "create":
@@ -121,6 +130,9 @@ class Daemon:
                 self.stats.arrivals += 1
                 if metrics is not None:
                     metrics.count("messengers.arrivals")
+                if not messenger.alive:
+                    continue
+                self.system.checkpoint_delivered(messenger)
                 self._create_local(messenger, item, origin_node)
                 # creation cost itself
                 yield self.sim.process(
@@ -211,6 +223,13 @@ class Daemon:
             yield self.sim.process(
                 self.host.busy(busy, category=None, label="slice")
             )
+        if not messenger.alive:
+            # Killed mid-burst (crash recovery, or an external kill()):
+            # the work was charged, but the resulting command must not
+            # act for a dead Messenger.  Deactivation is idempotent, so
+            # this composes with recovery having already accounted it.
+            self.system.deactivate(messenger)
+            return
         if metrics is not None:
             metrics.count("messengers.slices")
             metrics.count(
@@ -242,7 +261,7 @@ class Daemon:
                 + ("" if suspended else " immediate"),
             )
             if suspended:
-                self.system.deactivate()
+                self.system.deactivate(messenger)
             else:
                 self.enqueue_ready(messenger)
         elif isinstance(command, (HopCommand, DeleteCommand)):
@@ -324,6 +343,9 @@ class Daemon:
                     size_bytes=state,
                 )
                 self.system.network.enqueue(packet)
+                self.system.checkpoint_dispatch(
+                    replica, holder=self.name, kind="hop"
+                )
         local_cost = dispatch_cost + copy_cost
         if local_cost > 0:
             yield self.sim.process(
@@ -363,10 +385,15 @@ class Daemon:
         costs = self.system.costs
         origin = messenger.node
         placements = []  # (daemon_name, item)
+        daemons = self.system.daemons
         for item in command.items:
-            candidates = self.system.daemon_graph.matches(
-                self.name, item.dn, item.dl, item.ddir
-            )
+            candidates = [
+                c
+                for c in self.system.daemon_graph.matches(
+                    self.name, item.dn, item.dl, item.ddir
+                )
+                if not daemons[c].dead
+            ]
             if not candidates:
                 continue
             if command.all_daemons:
@@ -406,6 +433,14 @@ class Daemon:
                     size_bytes=state + 64,  # state + create request header
                 )
                 self.system.network.enqueue(packet)
+                self.system.checkpoint_dispatch(
+                    replica,
+                    holder=self.name,
+                    kind="create",
+                    item=item,
+                    origin=origin,
+                    dest=daemon_name,
+                )
         local_cost = dispatch_cost + copy_cost
         if local_cost > 0:
             yield self.sim.process(

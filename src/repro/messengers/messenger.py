@@ -56,6 +56,14 @@ class Messenger:
         self.last_link: Optional[str] = None
         self.parent_id = parent_id
         self.alive = True
+        #: True while parked on the conservative virtual-time queue —
+        #: suspended Messengers do not count toward the active total.
+        self.suspended = False
+        #: True while counted in the system's active total; maintained
+        #: by ``MessengersSystem.activate``/``deactivate`` so the
+        #: accounting stays correct when crash recovery and a daemon
+        #: both try to retire the same Messenger.
+        self.active = False
         #: Lifetime statistics.
         self.hops = 0
         self.instructions_executed = 0

@@ -12,8 +12,8 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Optional, Sequence, Union
 
-from ..des import Simulator
-from ..netsim import CostModel, Network
+from ..des import SimulationError, Simulator
+from ..netsim import CostModel, Network, Packet
 from ..obs import InstantEvent
 from .daemon import Daemon
 from .daemon_graph import DaemonNetwork
@@ -25,6 +25,31 @@ from .natives import NativeRegistry
 from .vtime import ConservativeVirtualTime
 
 __all__ = ["MessengersSystem"]
+
+
+class _Checkpoint:
+    """Snapshot of a Messenger as dispatched over the wire.
+
+    Taken at hop boundaries (only when the attached fault plan can crash
+    hosts): ``clone`` is a full replica of the migrating state, ``holder``
+    the daemon that sent it.  ``prev`` optionally keeps the *previous*
+    dispatch snapshot until delivery of this one is confirmed, so a
+    Messenger lost together with its sender's transmit queue can still be
+    replayed from one hop earlier.  The chain never grows beyond two.
+    """
+
+    __slots__ = ("clone", "holder", "kind", "node", "item", "origin",
+                 "dest", "prev")
+
+    def __init__(self, clone, holder, kind, node, item, origin, dest):
+        self.clone = clone
+        self.holder = holder
+        self.kind = kind  # "hop" | "create"
+        self.node = node  # hop: destination LogicalNode (already placed)
+        self.item = item  # create: the CreateItem to materialize
+        self.origin = origin  # create: the originating LogicalNode
+        self.dest = dest  # create: destination daemon name
+        self.prev = None
 
 
 class MessengersSystem:
@@ -74,6 +99,14 @@ class MessengersSystem:
         self.tracer = None
         self._placement_rotation: dict[str, itertools.cycle] = {}
         self._program_cache: dict[tuple, Program] = {}
+        #: Hop-boundary checkpoints by messenger id (crash recovery).
+        self._checkpoints: dict[int, _Checkpoint] = {}
+        # Daemon traffic opts into at-least-once + dedup delivery (free
+        # until a lossy fault plan is attached), and the system repairs
+        # the logical network + re-dispatches lost Messengers on crashes.
+        network.set_reliable(Daemon.port_name)
+        network.add_crash_listener(self._on_host_crash)
+        network.add_restart_listener(self._on_host_restart)
 
     def trace(self, messenger, kind: str, daemon: str, detail: str = ""):
         """Record a trace event if anyone is listening (hot path).
@@ -166,7 +199,7 @@ class MessengersSystem:
         )
         messenger.node = start_node
         self.messengers[messenger.id] = messenger
-        self.activate()
+        self.activate(messenger)
         target_daemon.enqueue_ready(messenger)
         return messenger
 
@@ -196,14 +229,40 @@ class MessengersSystem:
         if self.script_errors:
             errors, self.script_errors = self.script_errors, []
             raise errors[0]
+        if self.active_count > 0:
+            stranded = [
+                m.id
+                for m in self.messengers.values()
+                if m.alive and not m.suspended
+            ]
+            raise SimulationError(
+                f"event queue drained with {self.active_count} Messengers "
+                f"still accounted active (stranded ids: {stranded}) — "
+                "a host crash without a crash-capable FaultPlan attached "
+                "loses in-flight Messengers irrecoverably"
+            )
         return self.sim.now
 
     # -- bookkeeping used by daemons -----------------------------------------------------
 
-    def activate(self) -> None:
+    def activate(self, messenger: Optional[Messenger] = None) -> None:
+        """Count a Messenger as able to make progress.
+
+        With a ``messenger`` the transition is tracked per Messenger and
+        is idempotent — crash recovery and the daemons may race to
+        account for the same victim.
+        """
+        if messenger is not None:
+            if messenger.active:
+                return
+            messenger.active = True
         self.active_count += 1
 
-    def deactivate(self) -> None:
+    def deactivate(self, messenger: Optional[Messenger] = None) -> None:
+        if messenger is not None:
+            if not messenger.active:
+                return
+            messenger.active = False
         if self.active_count <= 0:
             raise RuntimeError("active count underflow")
         self.active_count -= 1
@@ -213,27 +272,234 @@ class MessengersSystem:
     def register_replica(self, replica: Messenger) -> None:
         """Admit a clone produced by hop replication / create(ALL)."""
         self.messengers[replica.id] = replica
-        self.activate()
+        self.activate(replica)
 
     def messenger_done(self, messenger: Messenger, lost: bool = False):
         """A Messenger terminated (script finished or no hop match)."""
         messenger.kill()
+        self._checkpoints.pop(messenger.id, None)
         self.finished.append((messenger, "lost" if lost else "done"))
         metrics = self.sim.metrics
         if metrics is not None:
             metrics.count(
                 "messengers.lost" if lost else "messengers.finished"
             )
-        self.deactivate()
+        self.deactivate(messenger)
 
     def messenger_failed(self, messenger: Messenger) -> None:
         """A Messenger crashed with a script error (kept for forensics)."""
         messenger.kill()
+        self._checkpoints.pop(messenger.id, None)
         self.finished.append((messenger, "failed"))
         metrics = self.sim.metrics
         if metrics is not None:
             metrics.count("messengers.failed")
-        self.deactivate()
+        self.deactivate(messenger)
+
+    # -- crash recovery -------------------------------------------------------
+
+    @property
+    def _checkpointing(self) -> bool:
+        """Hop-boundary checkpoints are armed only when the attached
+        fault plan can actually crash a host — fault-free runs (and
+        loss-only plans) pay nothing."""
+        faults = self.network.faults
+        return faults is not None and faults.can_crash
+
+    def checkpoint_dispatch(
+        self,
+        messenger: Messenger,
+        holder: str,
+        kind: str = "hop",
+        item=None,
+        origin=None,
+        dest: Optional[str] = None,
+    ) -> None:
+        """Snapshot ``messenger`` as it leaves ``holder`` over the wire.
+
+        Called by daemons right after a remote dispatch.  The previous
+        snapshot (if any) is retained as ``prev`` until this dispatch is
+        confirmed delivered, so a crash of the *sender* — losing the
+        transmit queue — can still replay from one hop earlier.
+        """
+        if not self._checkpointing:
+            return
+        checkpoint = _Checkpoint(
+            messenger.clone(), holder, kind, messenger.node, item, origin,
+            dest,
+        )
+        previous = self._checkpoints.get(messenger.id)
+        if previous is not None:
+            previous.prev = None  # cap the chain at two snapshots
+            checkpoint.prev = previous
+        self._checkpoints[messenger.id] = checkpoint
+        self.network.faults.count("checkpoints")
+
+    def checkpoint_delivered(self, messenger: Messenger) -> None:
+        """The dispatch covered by the newest snapshot arrived: the
+        previous snapshot can no longer be needed."""
+        checkpoint = self._checkpoints.get(messenger.id)
+        if checkpoint is not None:
+            checkpoint.prev = None
+
+    def _on_host_crash(self, host, lost_packets) -> None:
+        """Network crash listener: kill victims, repair, re-dispatch.
+
+        Victims are (a) alive Messengers whose current logical node lives
+        on the dead daemon (resident, ready, executing, suspended, or
+        already placed in flight toward it), (b) Messengers riding in the
+        dead host's lost transmit/receive queues, and (c) in-flight
+        create requests addressed to the dead daemon.  The dead daemon's
+        logical nodes are re-homed round-robin onto the survivors, then
+        every victim with a checkpoint held by a live daemon is replayed
+        from its last hop boundary.
+        """
+        name = host.name
+        daemon = self.daemons.get(name)
+        if daemon is None:
+            return
+        daemon.dead = True
+        faults = self.network.faults
+
+        victims: dict[int, Messenger] = {}
+        for messenger in self.messengers.values():
+            if (
+                messenger.alive
+                and messenger.node is not None
+                and messenger.node.daemon == name
+            ):
+                victims[messenger.id] = messenger
+        for packet in lost_packets:
+            if packet.port != Daemon.port_name:
+                continue
+            kind, data = packet.payload
+            messenger = data if kind == "messenger" else data[0]
+            if messenger.alive:
+                victims[messenger.id] = messenger
+        for mid, checkpoint in self._checkpoints.items():
+            messenger = self.messengers.get(mid)
+            if (
+                messenger is not None
+                and messenger.alive
+                and messenger.node is None
+                and checkpoint.kind == "create"
+                and checkpoint.dest == name
+            ):
+                victims[messenger.id] = messenger
+
+        for messenger in victims.values():
+            messenger.kill()
+            messenger.suspended = False
+            self.finished.append((messenger, "crashed"))
+            self.trace(messenger, "crashed", name)
+            if faults is not None:
+                faults.count("messengers_crashed")
+            self.deactivate(messenger)
+
+        # Logical-network repair: re-home the dead daemon's nodes onto
+        # the survivors so existing links keep routing (§2.1's logical
+        # network stays intact while the physical node is gone).
+        alive = [d for d in self.daemon_names if not self.daemons[d].dead]
+        if alive:
+            dead_nodes = self.logical.nodes_on(name)
+            for index, node in enumerate(dead_nodes):
+                node.daemon = alive[index % len(alive)]
+            if faults is not None and dead_nodes:
+                faults.count("nodes_rehomed", len(dead_nodes))
+
+        for messenger in victims.values():
+            self._redispatch(messenger, faults)
+
+    def _redispatch(self, messenger: Messenger, faults) -> None:
+        """Replay a crash victim from its newest usable checkpoint."""
+        checkpoint = self._checkpoints.pop(messenger.id, None)
+        while checkpoint is not None:
+            holder = self.daemons.get(checkpoint.holder)
+            if holder is not None and not holder.dead:
+                break
+            checkpoint = checkpoint.prev
+        if checkpoint is None:
+            if faults is not None:
+                faults.count("messengers_unrecoverable")
+            return
+
+        clone = checkpoint.clone
+        if checkpoint.kind == "hop":
+            node = checkpoint.node
+            dest = node.daemon  # post-repair owner
+            if self.daemons[dest].dead:
+                if faults is not None:
+                    faults.count("messengers_unrecoverable")
+                return
+            clone.node = node
+            self.register_replica(clone)
+            self.checkpoint_dispatch(clone, checkpoint.holder, kind="hop")
+            if faults is not None:
+                faults.count("messengers_redispatched")
+            self.trace(clone, "redispatch", checkpoint.holder, f"-> {dest}")
+            if dest == checkpoint.holder:
+                self.daemons[dest].enqueue_ready(clone)
+            else:
+                self.network.enqueue(Packet(
+                    src=checkpoint.holder,
+                    dst=dest,
+                    port=Daemon.port_name,
+                    payload=("messenger", clone),
+                    size_bytes=clone.state_bytes(),
+                ))
+        else:  # create request: re-route to any matching live daemon
+            item, origin = checkpoint.item, checkpoint.origin
+            candidates = [
+                c
+                for c in self.daemon_graph.matches(
+                    checkpoint.holder, item.dn, item.dl, item.ddir
+                )
+                if not self.daemons[c].dead
+            ]
+            if not candidates:
+                if faults is not None:
+                    faults.count("messengers_unrecoverable")
+                return
+            dest = self.choose_daemon(checkpoint.holder, candidates)
+            self.register_replica(clone)
+            self.checkpoint_dispatch(
+                clone, checkpoint.holder, kind="create",
+                item=item, origin=origin, dest=dest,
+            )
+            if faults is not None:
+                faults.count("messengers_redispatched")
+            self.trace(clone, "redispatch", checkpoint.holder, f"-> {dest}")
+            if dest == checkpoint.holder:
+                self.daemons[dest]._create_local(clone, item, origin)
+                self.daemons[dest].enqueue_ready(clone)
+            else:
+                self.network.enqueue(Packet(
+                    src=checkpoint.holder,
+                    dst=dest,
+                    port=Daemon.port_name,
+                    payload=("create", (clone, item, origin)),
+                    size_bytes=clone.state_bytes() + 64,
+                ))
+
+    def _on_host_restart(self, host) -> None:
+        """A crashed host came back: revive its daemon.
+
+        Its logical nodes were re-homed at crash time and stay where
+        they are; the daemon gets a fresh ``init`` anchor so new
+        injections and creates can land on it again.
+        """
+        daemon = self.daemons.get(host.name)
+        if daemon is None or not daemon.dead:
+            return
+        daemon.dead = False
+        if (
+            daemon.init_node is None
+            or daemon.init_node.daemon != host.name
+        ):
+            daemon.init_node = self.logical.create_node("init", host.name)
+        faults = self.network.faults
+        if faults is not None:
+            faults.count("daemon_restarts")
 
     def choose_daemon(self, from_daemon: str, candidates: list) -> str:
         """Placement rule for non-ALL create: rotate over candidates.

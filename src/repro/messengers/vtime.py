@@ -66,6 +66,7 @@ class ConservativeVirtualTime:
             messenger.vt = max(messenger.vt, wake)
             return False
 
+        messenger.suspended = True
         heapq.heappush(
             self._pending, (wake, next(self._seq), messenger, daemon)
         )
@@ -87,9 +88,13 @@ class ConservativeVirtualTime:
             self._system.sim.process(self._round())
 
     def _round_delay(self) -> float:
+        # Crashed daemons are excluded from the cut: the survivors only
+        # exchange timing information among themselves.
         costs = self._system.costs
-        n = len(self._system.daemons)
-        return costs.gvt_round_s * n + 2 * costs.wire_latency_s
+        n = sum(
+            1 for d in self._system.daemons.values() if not d.dead
+        )
+        return costs.gvt_round_s * max(n, 1) + 2 * costs.wire_latency_s
 
     def _round(self):
         """One GVT synchronization round (a simulation process)."""
@@ -106,6 +111,11 @@ class ConservativeVirtualTime:
             # Someone was injected while the round was in flight; the
             # computation is no longer quiescent, so do not advance.
             return
+        # Entries for Messengers that died (crash victims, script
+        # failures) must not define the wake time — drop them first so
+        # the head of the heap is always a real wakeup.
+        while self._pending and not self._pending[0][2].alive:
+            heapq.heappop(self._pending)
         if not self._pending:
             return
         self.rounds += 1
@@ -120,8 +130,13 @@ class ConservativeVirtualTime:
             _wake, _seq, messenger, daemon = heapq.heappop(self._pending)
             if not messenger.alive:
                 continue
+            if daemon.dead and messenger.node is not None:
+                # The suspending daemon died and the Messenger's node
+                # was re-homed: wake it where the node lives now.
+                daemon = self._system.daemons[messenger.node.daemon]
             messenger.vt = wake_time
-            self._system.activate()
+            messenger.suspended = False
+            self._system.activate(messenger)
             daemon.enqueue_ready(messenger)
             wakeups += 1
         if metrics is not None:

@@ -12,7 +12,15 @@ buffers, and the ``ANY`` wildcard.
 from .buffers import PackBuffer, UnpackBuffer, estimate_size
 from .groups import GroupRegistry
 from .pvm import MessagePassingSystem
-from .task import ANY, Message, NO_PARENT, Task, TaskContext, TaskKilled
+from .task import (
+    ANY,
+    Message,
+    NO_PARENT,
+    SYSTEM,
+    Task,
+    TaskContext,
+    TaskKilled,
+)
 
 __all__ = [
     "ANY",
@@ -21,6 +29,7 @@ __all__ = [
     "MessagePassingSystem",
     "NO_PARENT",
     "PackBuffer",
+    "SYSTEM",
     "Task",
     "TaskContext",
     "TaskKilled",

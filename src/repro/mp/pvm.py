@@ -18,8 +18,9 @@ from typing import Any, Callable, Optional
 
 from ..des import Process, Simulator
 from ..netsim import CostModel, Network
+from .buffers import PackBuffer
 from .groups import GroupRegistry
-from .task import NO_PARENT, Task, TaskContext, TaskKilled
+from .task import NO_PARENT, SYSTEM, Task, TaskContext, TaskKilled
 
 __all__ = ["MessagePassingSystem"]
 
@@ -40,8 +41,16 @@ class MessagePassingSystem:
         self._tasks: dict[int, Task] = {}
         self._tids = itertools.count(1)
         self._placement = itertools.cycle(network.host_names)
+        #: pvm_notify registrations: dead tid -> [(watcher, tag), ...]
+        #: and host-delete watchers [(watcher, tag), ...].
+        self._exit_watchers: dict[int, list[tuple[int, int]]] = {}
+        self._host_watchers: list[tuple[int, int]] = []
+        # Task traffic opts into at-least-once + dedup delivery; free
+        # until a lossy fault plan is attached.
+        network.set_reliable(self.port_name)
+        network.add_crash_listener(self._on_host_crash)
         for host_name in network.host_names:
-            self.sim.process(self._delivery_daemon(host_name))
+            self.sim.process(self._delivery_daemon(host_name), daemon=True)
 
     # -- task management -----------------------------------------------------
 
@@ -83,6 +92,7 @@ class MessagePassingSystem:
             task.exit_value = None
         finally:
             task.exited = True
+            self._task_exited(task)
         return task.exit_value
 
     def task(self, tid: int) -> Task:
@@ -105,6 +115,79 @@ class MessagePassingSystem:
     def live_tasks(self) -> list[Task]:
         """Tasks that have not exited yet."""
         return [t for t in self._tasks.values() if not t.exited]
+
+    # -- pvm_notify ----------------------------------------------------------
+
+    def notify_task_exit(
+        self, watcher_tid: int, tids, tag: int
+    ) -> None:
+        """Register ``watcher_tid`` for TaskExit messages about ``tids``.
+
+        A tid that is already dead (or unknown — PVM treats a bad tid as
+        an exited task) notifies immediately.
+        """
+        for tid in tids:
+            task = self._tasks.get(tid)
+            if task is None or task.exited:
+                self._deliver_notification(
+                    watcher_tid, tag, PackBuffer().pack_int(tid)
+                )
+            else:
+                self._exit_watchers.setdefault(tid, []).append(
+                    (watcher_tid, tag)
+                )
+
+    def notify_host_delete(self, watcher_tid: int, tag: int) -> None:
+        """Register ``watcher_tid`` for HostDelete messages (host
+        crashes)."""
+        self._host_watchers.append((watcher_tid, tag))
+
+    def _deliver_notification(
+        self, watcher_tid: int, tag: int, buf: PackBuffer
+    ) -> None:
+        """The watcher's local pvmd synthesizes the message, so delivery
+        is direct — no wire transfer from the (possibly dead) subject."""
+        watcher = self._tasks.get(watcher_tid)
+        if watcher is None or watcher.exited:
+            self.dropped += 1
+            return
+        faults = self.network.faults
+        if faults is not None:
+            faults.count("notifications")
+        watcher.mailbox.put((SYSTEM, tag, buf))
+
+    def _task_exited(self, task: Task) -> None:
+        if task.exit_notified:
+            return
+        task.exit_notified = True
+        for watcher_tid, tag in self._exit_watchers.pop(task.tid, []):
+            self._deliver_notification(
+                watcher_tid, tag, PackBuffer().pack_int(task.tid)
+            )
+
+    def _on_host_crash(self, host, lost_packets) -> None:
+        """Network crash listener: kill resident tasks, tell watchers.
+
+        Order mirrors PVM: the host's tasks die with it (their TaskExit
+        notifications fire), then HostDelete notifications go out.
+        """
+        victims = [
+            task for task in self._tasks.values()
+            if task.host is host and not task.exited
+        ]
+        faults = self.network.faults
+        if faults is not None and victims:
+            faults.count("tasks_crashed", len(victims))
+        for task in victims:
+            self.kill(task.tid)
+            # kill() marks the task exited and interrupts its process;
+            # the exit notification must not wait for the interrupt to
+            # be delivered (the watcher may race a recv against it).
+            self._task_exited(task)
+        for watcher_tid, tag in list(self._host_watchers):
+            self._deliver_notification(
+                watcher_tid, tag, PackBuffer().pack_string(host.name)
+            )
 
     def wait_for(self, tid: int):
         """Event that fires when the task's behavior finishes."""

@@ -20,13 +20,24 @@ from ..des import FilterStore, Interrupt
 from ..netsim import Packet
 from .buffers import PackBuffer, UnpackBuffer, estimate_size
 
-__all__ = ["ANY", "Message", "Task", "TaskContext", "TaskKilled", "NO_PARENT"]
+__all__ = [
+    "ANY",
+    "Message",
+    "SYSTEM",
+    "Task",
+    "TaskContext",
+    "TaskKilled",
+    "NO_PARENT",
+]
 
 #: Wildcard for ``recv``'s source and tag filters (PVM uses -1).
 ANY = -1
 
 #: Parent tid of tasks started from the outside (PVM returns PvmNoParent).
 NO_PARENT = -1
+
+#: Source "tid" of pvmd-generated notification messages (pvm_notify).
+SYSTEM = -2
 
 
 class TaskKilled(Exception):
@@ -58,6 +69,8 @@ class Task:
         self.process = None  # set by the system after spawning
         self.exited = False
         self.exit_value: Any = None
+        #: Ensures pvm_notify watchers hear about this task exactly once.
+        self.exit_notified = False
 
     def __repr__(self) -> str:
         state = "exited" if self.exited else "running"
@@ -139,6 +152,25 @@ class TaskContext:
         communication is a programming error.
         """
         self._task.exited = True
+
+    def notify_task_exit(self, tids: Sequence[int], tag: int) -> None:
+        """Ask for a message when any of ``tids`` exits (pvm_notify
+        TaskExit).
+
+        Each exit delivers one message from :data:`SYSTEM` with ``tag``
+        whose buffer holds the dead task's tid (``unpack_int``).  Tasks
+        that are already dead notify immediately, as PVM's does.
+        """
+        self._system.notify_task_exit(self._task.tid, tids, tag)
+
+    def notify_host_delete(self, tag: int) -> None:
+        """Ask for a message whenever a host crashes (pvm_notify
+        HostDelete).
+
+        Each crash delivers one message from :data:`SYSTEM` with ``tag``
+        whose buffer holds the dead host's name (``unpack_string``).
+        """
+        self._system.notify_host_delete(self._task.tid, tag)
 
     # -- sending ------------------------------------------------------------
 

@@ -7,7 +7,7 @@ rationale and :mod:`repro.netsim.costs` for every calibration constant.
 
 from .costs import CacheModel, CostModel, DEFAULT_COSTS, sparc5_costs
 from .ethernet import EthernetSegment
-from .host import Host
+from .host import Host, HostCrashedError
 from .transport import Network, Packet, build_lan
 
 __all__ = [
@@ -16,6 +16,7 @@ __all__ = [
     "DEFAULT_COSTS",
     "EthernetSegment",
     "Host",
+    "HostCrashedError",
     "Network",
     "Packet",
     "build_lan",

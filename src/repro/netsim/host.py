@@ -11,12 +11,23 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Optional
 
 from ..des import Resource, Simulator, Store
+from ..des.errors import SimulationError
 from .costs import CostModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from .transport import Network
 
-__all__ = ["Host"]
+__all__ = ["Host", "HostCrashedError"]
+
+
+class HostCrashedError(SimulationError):
+    """An operation targeted a host that is currently crashed.
+
+    Raised by :meth:`Host.busy`/:meth:`Host.compute` (a dead CPU does no
+    work) and by :meth:`~repro.netsim.transport.Network.enqueue` when the
+    *source* host is down — software running "on" a crashed host is a
+    bug in the caller's recovery logic, so it surfaces loudly.
+    """
 
 
 class Host:
@@ -54,6 +65,9 @@ class Host:
         self._ports: dict[str, Store] = {}
         #: Accumulated busy time, for utilization reporting.
         self.busy_seconds: float = 0.0
+        #: Fail-stop state, driven by the fault layer via
+        #: :meth:`crash`/:meth:`restart`.
+        self.crashed: bool = False
 
     # -- CPU ------------------------------------------------------------------
 
@@ -87,10 +101,15 @@ class Host:
             raise ValueError(f"negative busy time {seconds}")
 
         def _busy(sim):
+            if self.crashed:
+                raise HostCrashedError(f"host {self.name!r} is down")
             req = self.cpu.request()
             yield req
             start = sim.now
             try:
+                if self.crashed:
+                    # Crashed while queued for the CPU.
+                    raise HostCrashedError(f"host {self.name!r} is down")
                 yield sim.timeout(seconds)
                 self.busy_seconds += seconds
                 metrics = sim.metrics
@@ -116,6 +135,28 @@ class Host:
         return self.costs.compute_seconds(
             flops, working_set_bytes, self.cpu_scale
         )
+
+    # -- faults ----------------------------------------------------------------
+
+    def crash(self) -> list:
+        """Fail-stop this host; returns everything its queues lost.
+
+        Volatile state — queued and half-delivered packets in every port
+        store, including the outbound ``_tx`` queue — is discarded, and
+        the discarded items are returned so the fault layer can report
+        them and recovery layers can identify in-flight casualties.  The
+        :class:`~repro.des.Store` objects themselves survive (service
+        pumps stay parked on them and simply resume after a restart).
+        """
+        self.crashed = True
+        lost = []
+        for store in self._ports.values():
+            lost.extend(store.clear())
+        return lost
+
+    def restart(self) -> None:
+        """Bring a crashed host back (empty queues, CPU idle)."""
+        self.crashed = False
 
     # -- NIC ports -----------------------------------------------------------
 

@@ -16,9 +16,12 @@ from typing import Any, Iterable, Optional
 from ..des import Simulator, Store
 from .costs import CostModel, DEFAULT_COSTS
 from .ethernet import EthernetSegment
-from .host import Host
+from .host import Host, HostCrashedError
 
 __all__ = ["Packet", "Network", "build_lan"]
+
+#: Wire size of a transport-level acknowledgement (one minimum frame).
+ACK_BYTES = 64
 
 
 @dataclass
@@ -27,7 +30,10 @@ class Packet:
 
     ``payload`` is an arbitrary Python object (never serialized for real —
     cost is charged from ``size_bytes``).  ``send_time`` is stamped by the
-    network for latency accounting.
+    network for latency accounting.  ``seq`` is assigned by the reliable
+    channel (ports opted in via :meth:`Network.set_reliable`, active only
+    when an attached fault plan makes the wire lossy); unreliable traffic
+    leaves it ``None``.
     """
 
     src: str
@@ -36,6 +42,7 @@ class Packet:
     payload: Any
     size_bytes: int
     send_time: float = field(default=0.0)
+    seq: Optional[int] = field(default=None)
 
     @property
     def is_local(self) -> bool:
@@ -57,6 +64,20 @@ class Network:
         self._hosts: dict[str, Host] = {}
         #: Count of delivered packets per (src, dst) pair.
         self.delivered: int = 0
+        #: Attached :class:`~repro.faults.FaultInjector`, or None.
+        self.faults = None
+        self._lossy = False  # cached injector.perturbs
+        #: TX-pump starts per host — exactly 1 even across crash/restart
+        #: cycles (a double-started pump would break per-source FIFO).
+        self.tx_pumps_started: dict[str, int] = {}
+        self._ack_pumps_started: set[str] = set()
+        #: Ports that opted into at-least-once + dedup delivery.
+        self._reliable_ports: set[str] = set()
+        self._next_seq: dict[tuple, int] = {}
+        self._seen_seqs: dict[str, set] = {}
+        self._awaiting_ack: dict[tuple, Any] = {}
+        self._crash_listeners: list = []
+        self._restart_listeners: list = []
 
     # -- topology ---------------------------------------------------------
 
@@ -66,13 +87,87 @@ class Network:
         Each host transmits through a single FIFO queue, so packets from
         the same source are delivered in send order (the in-order
         guarantee PVM and the MESSENGERS daemons both rely on).
+
+        Re-attaching the *same* host object (a restart after a crash) is
+        idempotent: its pump is already parked on the surviving ``_tx``
+        store and is not started a second time.  A *different* host
+        object under a taken name is still an error.
         """
-        if host.name in self._hosts:
+        existing = self._hosts.get(host.name)
+        if existing is not None and existing is not host:
             raise ValueError(f"duplicate host name {host.name!r}")
         self._hosts[host.name] = host
         host.network = self
-        self.sim.process(self._tx_pump(host))
+        if host.name not in self.tx_pumps_started:
+            self.tx_pumps_started[host.name] = 1
+            self.sim.process(self._tx_pump(host), daemon=True)
+        if self._lossy:
+            self._start_ack_pump(host)
         return host
+
+    # -- faults ------------------------------------------------------------
+
+    def attach_faults(self, injector) -> None:
+        """Called by :class:`~repro.faults.FaultInjector` on construction."""
+        self.faults = injector
+        self._lossy = injector.perturbs
+        if self._lossy:
+            for host in self._hosts.values():
+                self._start_ack_pump(host)
+
+    def _start_ack_pump(self, host: Host) -> None:
+        if host.name not in self._ack_pumps_started:
+            self._ack_pumps_started.add(host.name)
+            self.sim.process(self._ack_pump(host), daemon=True)
+
+    def set_reliable(self, port: str) -> None:
+        """Opt ``port`` into at-least-once + dedup delivery.
+
+        Free until a lossy fault plan is attached: sequence numbers,
+        acks, and retransmit timers only arm when the wire can actually
+        lose packets.
+        """
+        self._reliable_ports.add(port)
+
+    def add_crash_listener(self, listener) -> None:
+        """``listener(host, lost_packets)`` runs when a host crashes."""
+        self._crash_listeners.append(listener)
+
+    def add_restart_listener(self, listener) -> None:
+        """``listener(host)`` runs when a crashed host restarts."""
+        self._restart_listeners.append(listener)
+
+    def crash_host(self, name: str) -> None:
+        """Fail-stop ``name``: its CPU rejects work, its queues drop.
+
+        Listeners (the MESSENGERS system, the PVM workalike) are handed
+        the packets that died in the host's queues so they can recover
+        in-flight work.  Idempotent while the host stays down.
+        """
+        host = self.host(name)
+        if host.crashed:
+            return
+        lost_items = host.crash()
+        # _tx entries are (packet, done) pairs; delivery queues hold
+        # bare packets.  Normalize to packets for the listeners.
+        lost = [
+            item[0] if isinstance(item, tuple) else item
+            for item in lost_items
+        ]
+        if self.faults is not None and lost:
+            self.faults.count("packets_lost_in_crash", len(lost))
+        for listener in list(self._crash_listeners):
+            listener(host, lost)
+
+    def restart_host(self, name: str) -> None:
+        """Bring a crashed host back and re-register its ports/pumps."""
+        host = self.host(name)
+        if not host.crashed:
+            return
+        host.restart()
+        self.add_host(host)
+        for listener in list(self._restart_listeners):
+            listener(host)
 
     def _tx_pump(self, host: Host):
         """Serially drain ``host``'s outbound queue onto the wire."""
@@ -80,22 +175,42 @@ class Network:
         overhead = self.costs.endpoint_overhead_s
         while True:
             packet, done = yield outbound.get()
+            if host.crashed:
+                # A retransmit timer raced the crash; the frame dies in
+                # the dead NIC.  (Normal senders cannot reach a crashed
+                # host's queue — enqueue() rejects them.)
+                continue
             start = self.sim.now
             yield self.sim.timeout(overhead)
             endpoint_s = overhead
+            faults = self.faults
+            action = "deliver"
             if not packet.is_local:
+                if faults is not None and self._lossy:
+                    action = faults.packet_action(packet)
+                if action == "partitioned":
+                    # The interface never puts the frame on the wire.
+                    done.succeed(packet)
+                    continue
                 yield self.sim.process(
                     self.segment.transmit(packet.size_bytes)
                 )
                 yield self.sim.timeout(overhead)
                 endpoint_s += overhead
-            queue = self._hosts[packet.dst].port(packet.port)
-            yield queue.put(packet)
-            self.delivered += 1
+            if action in ("drop", "corrupt"):
+                # Lost on the wire / failed the receiver's checksum.
+                done.succeed(packet)
+                continue
+            dst_host = self._hosts[packet.dst]
+            if dst_host.crashed:
+                if faults is not None:
+                    faults.count("packets_to_dead_host")
+                done.succeed(packet)
+                continue
+            copies = 2 if action == "duplicate" else 1
+            yield from self._deliver(host, packet, dst_host, copies)
             metrics = self.sim.metrics
             if metrics is not None:
-                metrics.count("netsim.net.packets")
-                metrics.count("netsim.net.bytes", packet.size_bytes)
                 metrics.charge("protocol", endpoint_s)
                 metrics.span(
                     host.name,
@@ -107,6 +222,78 @@ class Network:
                     charge=False,
                 )
             done.succeed(packet)
+
+    def _deliver(self, src_host: Host, packet: Packet, dst_host: Host,
+                 copies: int):
+        """Hand ``copies`` arrivals of ``packet`` to the destination port,
+        applying dedup + acking for reliable (sequenced) packets."""
+        faults = self.faults
+        queue = dst_host.port(packet.port)
+        for _ in range(copies):
+            if packet.seq is not None:
+                key = (packet.src, packet.port, packet.seq)
+                seen = self._seen_seqs.setdefault(packet.dst, set())
+                fresh = key not in seen
+                if fresh:
+                    seen.add(key)
+                # Ack every received copy — a duplicate's ack covers the
+                # case where the first ack itself was lost.
+                faults.count("acks_sent")
+                self.enqueue(Packet(
+                    src=packet.dst,
+                    dst=packet.src,
+                    port="_ack",
+                    payload=(packet.src, packet.dst, packet.port,
+                             packet.seq),
+                    size_bytes=ACK_BYTES,
+                ))
+                if not fresh:
+                    faults.count("duplicates_suppressed")
+                    continue
+            elif copies > 1 and faults is not None:
+                faults.count("duplicates_delivered")
+            yield queue.put(packet)
+            self.delivered += 1
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.count("netsim.net.packets")
+                metrics.count("netsim.net.bytes", packet.size_bytes)
+
+    def _ack_pump(self, host: Host):
+        """Resolve retransmit timers from acks arriving at ``host``."""
+        port = host.port("_ack")
+        while True:
+            ack = yield port.get()
+            pending = self._awaiting_ack.pop(ack.payload, None)
+            if pending is not None and not pending.triggered:
+                pending.succeed()
+
+    def _retransmitter(self, packet: Packet, ack_event):
+        """At-least-once delivery: resend ``packet`` with exponential
+        backoff + jitter until acked, the endpoint dies, or the retry
+        budget runs out (a crashed peer is the recovery layers' problem,
+        not the transport's)."""
+        faults = self.faults
+        policy = faults.plan.retransmit_policy
+        jitter_rng = faults.retransmit_rng
+        delay = policy.timeout_s
+        key = (packet.src, packet.dst, packet.port, packet.seq)
+        for _attempt in range(policy.max_retries):
+            yield ack_event | self.sim.timeout(delay)
+            if ack_event.triggered:
+                return
+            src_host = self._hosts[packet.src]
+            dst_host = self._hosts[packet.dst]
+            if src_host.crashed or dst_host.crashed:
+                break
+            faults.count("retransmits")
+            src_host.port("_tx").put((packet, self.sim.event()))
+            delay *= policy.backoff
+            delay *= 1.0 + policy.jitter * jitter_rng.random()
+        else:
+            faults.count("retransmits_exhausted")
+        self._awaiting_ack.pop(key, None)
+        faults.count("retransmits_abandoned")
 
     def host(self, name: str) -> Host:
         """Look up a host by name."""
@@ -140,9 +327,31 @@ class Network:
             raise KeyError(f"unknown destination host {packet.dst!r}")
         if packet.src not in self._hosts:
             raise KeyError(f"unknown source host {packet.src!r}")
+        src_host = self._hosts[packet.src]
+        if src_host.crashed:
+            raise HostCrashedError(
+                f"cannot send from crashed host {packet.src!r}"
+            )
         packet.send_time = self.sim.now
         done = self.sim.event()
-        self._hosts[packet.src].port("_tx").put((packet, done))
+        if (
+            self._lossy
+            and packet.seq is None
+            and not packet.is_local
+            and packet.port in self._reliable_ports
+        ):
+            key = (packet.src, packet.dst, packet.port)
+            seq = self._next_seq.get(key, 0)
+            self._next_seq[key] = seq + 1
+            packet.seq = seq
+            ack_event = self.sim.event()
+            self._awaiting_ack[
+                (packet.src, packet.dst, packet.port, seq)
+            ] = ack_event
+            self.sim.process(
+                self._retransmitter(packet, ack_event), daemon=True
+            )
+        src_host.port("_tx").put((packet, done))
         return done
 
     def send(self, packet: Packet):
