@@ -1,0 +1,97 @@
+"""RESILIENCE-GUARD — the resilience layer's wall-clock overhead budget.
+
+The empty-policy-arms-nothing contract: a :class:`ResilienceSuite` built
+from an empty :class:`ResiliencePolicy` registers no listeners, starts
+no monitor processes, and sets no flow control — so attaching one to a
+run must cost essentially nothing and must never perturb the simulated
+timeline.  Detectors, supervision, and invariants only cost when armed,
+which is the same pay-only-when-perturbing rule the observability and
+fault layers follow.
+
+Budget (wall clock, min-of-N so scheduler noise can only help): an
+empty policy attached <= 2% over no policy at all.  Simulated seconds
+must be *identical*.
+"""
+
+import time
+
+import pytest
+
+from repro.apps.mandelbrot.kernel import TaskGrid
+from repro.apps.mandelbrot.messengers_app import run_messengers
+from repro.apps.mandelbrot.pvm_app import run_pvm
+from repro.des import Simulator
+from repro.netsim import build_lan
+from repro.resilience import ResiliencePolicy, ResilienceSuite
+
+pytestmark = pytest.mark.obs_guard
+
+GRID = TaskGrid(96, 4)
+PROCS = 3
+REPEATS = 3
+
+
+def _timed(runner, policy):
+    start = time.perf_counter()
+    result = runner(GRID, PROCS, resilience=policy)
+    return time.perf_counter() - start, result.seconds
+
+
+@pytest.fixture(scope="module", params=[run_messengers, run_pvm],
+                ids=["messengers", "pvm"])
+def timings(request):
+    runner = request.param
+    # Warm up once: the Mandelbrot kernel memoizes block computations,
+    # so the first run pays numpy + compilation costs the rest don't.
+    _timed(runner, None)
+    walls: dict[str, float] = {}
+    sims: dict[str, float] = {}
+    # Interleave the modes so drift hits both equally; keep the minimum.
+    for _ in range(REPEATS):
+        for name, policy in (("off", None), ("empty", ResiliencePolicy())):
+            wall, simulated = _timed(runner, policy)
+            walls[name] = min(walls.get(name, float("inf")), wall)
+            sims[name] = simulated
+    return walls, sims
+
+
+class TestResilienceOverhead:
+    def test_empty_policy_does_not_perturb_timeline(self, timings):
+        _, sims = timings
+        assert sims["empty"] == sims["off"]
+
+    def test_empty_policy_within_budget(self, timings):
+        walls, _ = timings
+        assert walls["empty"] <= walls["off"] * 1.02 + 0.010
+
+
+class TestResilienceGating:
+    def test_empty_policy_arms_nothing(self):
+        sim = Simulator()
+        network = build_lan(sim, 2)
+        before = (
+            len(network._crash_listeners),
+            len(network._failure_listeners),
+            len(network._restart_listeners),
+            len(sim._queue),
+        )
+        suite = ResilienceSuite(network, ResiliencePolicy())
+        after = (
+            len(network._crash_listeners),
+            len(network._failure_listeners),
+            len(network._restart_listeners),
+            len(sim._queue),
+        )
+        assert suite.policy.empty
+        assert suite.detector is None
+        assert suite.supervisor is None
+        assert suite.monitor is None
+        assert after == before  # no listeners, no processes started
+        assert network._flow_credits is None
+        assert not network.detection_enabled
+
+    def test_empty_suite_stats_are_minimal(self):
+        sim = Simulator()
+        network = build_lan(sim, 2)
+        suite = ResilienceSuite(network, ResiliencePolicy())
+        assert suite.stats() == {"empty": True}

@@ -29,6 +29,11 @@ Subpackages
     (packet loss, duplication, corruption, partitions, host crashes and
     restarts), the reliable-delivery layer they force, and the recovery
     machinery's counters.
+``repro.resilience``
+    Detection-driven recovery: heartbeat/phi-accrual failure detectors,
+    supervision restart policies, transport flow control, in-run
+    invariant checkers, and a fault-schedule searcher that shrinks
+    violations to minimal reproducers.
 ``repro.obs``
     Cross-cutting observability: metrics, the virtual-time cost
     ledger, Chrome-trace/JSONL exporters.
@@ -47,7 +52,13 @@ EXPERIMENTS.md for paper-versus-measured results.
 
 from .des import Simulator
 from .facade import Cluster, Experiment, ExperimentResult, cluster
-from .faults import FaultEvent, FaultInjector, FaultPlan, RetransmitPolicy
+from .faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    RetransmitPolicy,
+)
 from .messengers import (
     DaemonNetwork,
     MessengersSystem,
@@ -73,8 +84,16 @@ from .obs import (
     to_chrome_trace,
     to_jsonl,
 )
+from .resilience import (
+    InvariantViolation,
+    ResiliencePolicy,
+    ResilienceSuite,
+    RestartPolicy,
+    ScheduleSearcher,
+    WorkLedger,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CATEGORIES",
@@ -88,17 +107,24 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
+    "FaultPlanError",
+    "InvariantViolation",
     "MessagePassingSystem",
     "MessengersSystem",
     "MetricsRegistry",
     "NativeRegistry",
     "Network",
     "PackBuffer",
+    "ResiliencePolicy",
+    "ResilienceSuite",
+    "RestartPolicy",
     "RetransmitPolicy",
+    "ScheduleSearcher",
     "Shell",
     "Simulator",
     "Tracer",
     "UnpackBuffer",
+    "WorkLedger",
     "__version__",
     "build_lan",
     "cluster",

@@ -62,6 +62,7 @@ def run_messengers(
     metrics=None,
     faults=None,
     seed: int = 0,
+    resilience=None,
 ) -> MessengersMandelbrotResult:
     """Run the Figure-3 program; returns image + simulated seconds.
 
@@ -70,7 +71,10 @@ def run_messengers(
     (``python -m repro stats`` uses this for the cost breakdown).
     ``faults`` optionally attaches a :class:`~repro.faults.FaultPlan`
     (replayed deterministically from ``seed``); recovery statistics then
-    land in ``result.stats["faults"]``.
+    land in ``result.stats["faults"]``.  ``resilience`` optionally arms
+    a :class:`~repro.resilience.ResiliencePolicy` (failure detector,
+    supervision, flow control); its statistics land in
+    ``result.stats["resilience"]``.
     """
     if n_workers < 1:
         raise ValueError("need at least one worker")
@@ -85,6 +89,11 @@ def run_messengers(
         from ...faults import FaultInjector
 
         injector = FaultInjector(network, faults, seed=seed)
+    suite = None
+    if resilience is not None:
+        from ...resilience import ResilienceSuite
+
+        suite = ResilienceSuite(network, resilience, seed=seed)
 
     results: dict[int, np.ndarray] = {}
     central = system.daemon("host0").init_node
@@ -124,6 +133,9 @@ def run_messengers(
     stats = {}
     if injector is not None:
         stats["faults"] = dict(injector.counts)
+    if suite is not None:
+        suite.check_final()
+        stats["resilience"] = suite.stats()
     return MessengersMandelbrotResult(
         image=grid.assemble(results),
         seconds=elapsed,

@@ -138,6 +138,7 @@ def run_pvm(
     metrics=None,
     faults=None,
     seed: int = 0,
+    resilience=None,
 ) -> PvmMandelbrotResult:
     """Run the Figure-2 program; returns image + simulated seconds.
 
@@ -146,7 +147,9 @@ def run_pvm(
     (``python -m repro stats --system pvm`` uses this).  ``faults``
     optionally attaches a :class:`~repro.faults.FaultPlan` (replayed
     deterministically from ``seed``); recovery statistics then land in
-    ``result.stats["faults"]``.
+    ``result.stats["faults"]``.  ``resilience`` optionally arms a
+    :class:`~repro.resilience.ResiliencePolicy`; its statistics land in
+    ``result.stats["resilience"]``.
     """
     if n_workers < 1:
         raise ValueError("need at least one worker")
@@ -160,6 +163,11 @@ def run_pvm(
         from ...faults import FaultInjector
 
         injector = FaultInjector(network, faults, seed=seed)
+    suite = None
+    if resilience is not None:
+        from ...resilience import ResilienceSuite
+
+        suite = ResilienceSuite(network, resilience, seed=seed)
     results: dict[int, np.ndarray] = {}
     manager_tid = system.spawn(_manager, grid, n_workers, results)
     system.run_until_task(manager_tid)
@@ -168,6 +176,9 @@ def run_pvm(
     stats = {}
     if injector is not None:
         stats["faults"] = dict(injector.counts)
+    if suite is not None:
+        suite.check_final()
+        stats["resilience"] = suite.stats()
     return PvmMandelbrotResult(
         image=grid.assemble(results),
         seconds=elapsed,

@@ -24,6 +24,12 @@ from .matmul_experiments import (
     run_block_size_sweep,
 )
 from .reporting import Figure, Series, ascii_chart, format_table
+from .resilience_experiments import (
+    HEARTBEAT_MISS_SWEEP,
+    PHI_THRESHOLD_SWEEP,
+    run_detection_sweep,
+    run_recovery_comparison,
+)
 from .shapes import (
     ShapeViolation,
     assert_faster_beyond,
@@ -36,6 +42,7 @@ __all__ = [
     "FIG12A_CPU_SCALE",
     "FIG12B_CPU_SCALE",
     "Figure",
+    "HEARTBEAT_MISS_SWEEP",
     "MandelbrotSweep",
     "MatmulSweep",
     "PAPER_BLOCK_SIZES_2X2",
@@ -43,6 +50,7 @@ __all__ = [
     "PAPER_GRIDS",
     "PAPER_LOSS_RATES",
     "PAPER_PROCESSOR_COUNTS",
+    "PHI_THRESHOLD_SWEEP",
     "Series",
     "ShapeViolation",
     "ascii_chart",
@@ -53,6 +61,8 @@ __all__ = [
     "blocking_speedup_model",
     "crossover_interval",
     "format_table",
+    "run_detection_sweep",
     "run_figure",
     "run_loss_sweep",
+    "run_recovery_comparison",
 ]

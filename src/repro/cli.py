@@ -15,15 +15,23 @@ Commands
     (where did the time go — copies? wire? interpretation? compute?),
     the key counters, and writes a Chrome ``trace_event`` JSON
     (load it at ``chrome://tracing`` or https://ui.perfetto.dev).
-``chaos [--seed N] [--loss R] [--crash-host H]``
+``chaos [--seed N] [--loss R] [--crash-host H] [--detect D] [--json]``
     Run the Figure-4 Mandelbrot workload on both systems under a
     deterministic fault plan (packet loss + one mid-run worker-host
     crash) and print the recovery counters.  The image must come out
     bit-identical to the fault-free run on both systems; the counters
-    are reproducible for a given ``--seed``.
+    are reproducible for a given ``--seed``.  ``--detect
+    heartbeat|phi`` triggers recovery through a failure detector
+    instead of the oracle crash hook; ``--json`` emits the report as
+    JSON.  Exits non-zero if either system diverges.
+``search [--system S] [--schedules N] [--depth D] [--json]``
+    Explore fault schedules (crash times x drop rates) against the
+    Mandelbrot workload with :class:`repro.resilience.ScheduleSearcher`
+    and shrink any violation to a minimal reproducer.  Exits non-zero
+    when a violation is found.
 ``selftest``
-    Run the repository's test suite plus the observability and
-    fault-path overhead guards (requires pytest).
+    Run the repository's test suite plus the observability, fault-path
+    and resilience overhead guards (requires pytest).
 ``info``
     Version, package inventory and cost-model summary.
 """
@@ -169,6 +177,8 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
+    import json
+
     from .apps.mandelbrot.kernel import TaskGrid
     from .apps.mandelbrot.messengers_app import run_messengers
     from .apps.mandelbrot.pvm_app import run_pvm
@@ -176,11 +186,28 @@ def _cmd_chaos(args) -> int:
 
     grid = TaskGrid(args.image, args.grid)
     crash_host = args.crash_host or f"host{min(2, args.procs)}"
-    print(
-        f"chaos: mandelbrot {args.image}x{args.image} "
-        f"({args.grid}x{args.grid} blocks, {args.procs} procs), "
-        f"loss={args.loss:g}, crash {crash_host} mid-run, seed={args.seed}"
-    )
+    resilience = None
+    if args.detect != "oracle":
+        from .resilience import ResiliencePolicy
+
+        resilience = ResiliencePolicy(detector=args.detect)
+    report = {
+        "image": args.image,
+        "grid": args.grid,
+        "procs": args.procs,
+        "loss": args.loss,
+        "crash_host": crash_host,
+        "seed": args.seed,
+        "detect": args.detect,
+        "systems": {},
+    }
+    if not args.json:
+        print(
+            f"chaos: mandelbrot {args.image}x{args.image} "
+            f"({args.grid}x{args.grid} blocks, {args.procs} procs), "
+            f"loss={args.loss:g}, crash {crash_host} mid-run, "
+            f"seed={args.seed}, recovery={args.detect}"
+        )
     status = 0
     for label, runner in (
         ("messengers", run_messengers),
@@ -190,22 +217,114 @@ def _cmd_chaos(args) -> int:
         plan = FaultPlan().drop(args.loss).crash(
             crash_host, at=0.5 * clean.seconds
         )
-        faulty = runner(grid, args.procs, faults=plan, seed=args.seed)
+        faulty = runner(
+            grid, args.procs, faults=plan, seed=args.seed,
+            resilience=resilience,
+        )
         identical = (
             faulty.image.shape == clean.image.shape
             and bool((faulty.image == clean.image).all())
         )
-        verdict = "bit-identical" if identical else "DIVERGED"
-        print()
-        print(
-            f"{label}: clean {clean.seconds:.4f}s -> "
-            f"faulty {faulty.seconds:.4f}s, image {verdict}"
-        )
-        for name, value in sorted(faulty.stats["faults"].items()):
-            print(f"  faults.{name:<28} {value}")
+        report["systems"][label] = {
+            "clean_s": clean.seconds,
+            "faulty_s": faulty.seconds,
+            "identical": identical,
+            "faults": dict(sorted(faulty.stats["faults"].items())),
+            **(
+                {"resilience": faulty.stats["resilience"]}
+                if "resilience" in faulty.stats else {}
+            ),
+        }
+        if not args.json:
+            verdict = "bit-identical" if identical else "DIVERGED"
+            print()
+            print(
+                f"{label}: clean {clean.seconds:.4f}s -> "
+                f"faulty {faulty.seconds:.4f}s, image {verdict}"
+            )
+            for name, value in sorted(faulty.stats["faults"].items()):
+                print(f"  faults.{name:<28} {value}")
+            if "resilience" in faulty.stats:
+                stats = faulty.stats["resilience"]
+                print(
+                    f"  detector={stats['detector']} "
+                    f"detections={stats['detections']} "
+                    f"latency={stats['detection_latency_mean_s']:.4f}s "
+                    f"false={stats['false_suspicions']}"
+                )
         if not identical:
             status = 1
+    report["status"] = status
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
     return status
+
+
+def _cmd_search(args) -> int:
+    import json
+
+    from .apps.mandelbrot.kernel import TaskGrid
+    from .apps.mandelbrot.messengers_app import run_messengers
+    from .apps.mandelbrot.pvm_app import run_pvm
+    from .resilience import InvariantViolation, ScheduleSearcher
+
+    grid = TaskGrid(args.image, args.grid)
+    runner_fn = run_messengers if args.system == "messengers" else run_pvm
+    clean = runner_fn(grid, args.procs)
+
+    def runner(plan, seed):
+        try:
+            result = runner_fn(grid, args.procs, faults=plan, seed=seed)
+        except ValueError as exc:
+            # e.g. image assembly with missing blocks: the run failed
+            # to produce a result at all.
+            raise InvariantViolation("run-completes", str(exc), 0.0) from exc
+        identical = (
+            result.image.shape == clean.image.shape
+            and bool((result.image == clean.image).all())
+        )
+        if not identical:
+            raise InvariantViolation(
+                "image-identity",
+                "faulty image diverged from the fault-free run",
+                result.seconds,
+            )
+
+    # host0 carries the manager/central node; by design the workloads
+    # cannot survive losing it, so it only joins the crash vocabulary
+    # when the user explicitly asks to hunt that class of violation.
+    first_worker = 0 if args.include_manager else 1
+    hosts = [f"host{i}" for i in range(first_worker, args.procs + 1)]
+    searcher = ScheduleSearcher(
+        runner, hosts, clean.seconds, seed=args.seed,
+        loss_rates=(args.loss,) if args.loss > 0 else (),
+    )
+    report = searcher.search(
+        max_schedules=args.schedules, max_depth=args.depth
+    )
+    report["system"] = args.system
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            f"search: {args.system} mandelbrot {args.image}x{args.image}, "
+            f"{report['schedules_run']} schedule(s) over "
+            f"{report['atom_vocabulary']} atoms"
+        )
+        if report["clean"]:
+            print("no violations found")
+        else:
+            for violation in report["violations"]:
+                print(f"VIOLATION {violation['error']}: "
+                      f"{violation['message']}")
+                for atom in violation["atoms"]:
+                    print(f"  atom: {atom}")
+            if report["minimal"] is not None:
+                print("minimal reproducer "
+                      f"(seed={report['minimal']['seed']}):")
+                for atom in report["minimal"]["atoms"]:
+                    print(f"  atom: {atom}")
+    return 0 if report["clean"] else 1
 
 
 def _cmd_selftest(args) -> int:
@@ -214,7 +333,11 @@ def _cmd_selftest(args) -> int:
 
     root = Path(__file__).resolve().parents[2]
     targets = [str(root / "tests")]
-    for guard_name in ("test_obs_overhead.py", "test_faults_overhead.py"):
+    for guard_name in (
+        "test_obs_overhead.py",
+        "test_faults_overhead.py",
+        "test_resilience_overhead.py",
+    ):
         guard = root / "benchmarks" / guard_name
         if guard.exists():
             targets.append(str(guard))
@@ -299,11 +422,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="task grid side (default 4 -> 16 blocks)")
     chaos.add_argument("--procs", type=int, default=3,
                        help="worker processors (default 3)")
+    chaos.add_argument("--detect", choices=["oracle", "heartbeat", "phi"],
+                       default="oracle",
+                       help="recovery trigger: oracle hook (default) or a "
+                            "failure detector from repro.resilience")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit a machine-readable JSON report")
     chaos.set_defaults(func=_cmd_chaos)
+
+    search = sub.add_parser(
+        "search",
+        help="search fault schedules for violations, shrink reproducers",
+    )
+    search.add_argument(
+        "--system", choices=["messengers", "pvm"], default="messengers"
+    )
+    search.add_argument("--schedules", type=int, default=50,
+                        help="schedule budget (default 50)")
+    search.add_argument("--depth", type=int, default=2,
+                        help="max atoms per DFS schedule (default 2)")
+    search.add_argument("--seed", type=int, default=0,
+                        help="seed for the random-restart phase")
+    search.add_argument("--loss", type=float, default=0.05,
+                        help="drop rate atom (default 0.05; 0 disables)")
+    search.add_argument("--image", type=int, default=64,
+                        help="image size in pixels (default 64)")
+    search.add_argument("--grid", type=int, default=4,
+                        help="task grid side (default 4 -> 16 blocks)")
+    search.add_argument("--procs", type=int, default=3,
+                        help="worker processors (default 3)")
+    search.add_argument("--include-manager", action="store_true",
+                        help="let the searcher crash host0 too (the "
+                             "manager host; finds a known violation)")
+    search.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON report")
+    search.set_defaults(func=_cmd_search)
 
     selftest = sub.add_parser(
         "selftest",
-        help="run the test suite + obs/faults overhead guards",
+        help="run the test suite + obs/faults/resilience overhead guards",
     )
     selftest.set_defaults(func=_cmd_selftest)
 

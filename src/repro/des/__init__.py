@@ -17,6 +17,7 @@ from .errors import (
     Interrupt,
     ProcessDead,
     SimDeadlockError,
+    SimOverloadError,
     SimulationError,
     StopSimulation,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "Resource",
     "RngRegistry",
     "SimDeadlockError",
+    "SimOverloadError",
     "SimulationError",
     "Simulator",
     "StopSimulation",

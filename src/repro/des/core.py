@@ -153,16 +153,30 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    ``daemon=True`` marks a *background* timeout: like daemon processes,
+    background timeouts never keep the simulation alive — :meth:`Simulator.run`
+    returns once only background events remain in the queue.  Periodic
+    service loops (failure-detector heartbeats, invariant-check ticks)
+    use them so they can run forever without preventing quiescence.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        delay: float,
+        value: Any = None,
+        daemon: bool = False,
+    ):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         super().__init__(sim)
         self.delay = delay
+        self.daemon = daemon
         self._ok = True
         self._value = value
-        sim.schedule(self, delay=delay)
+        sim.schedule(self, delay=delay, daemon=daemon)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
@@ -246,6 +260,10 @@ class Simulator:
         self._active_process = None
         self._metrics = None
         self._metrics_events = None
+        #: Queued events that are *not* background (daemon) events; the
+        #: run loop drains when this reaches zero, exactly as it used to
+        #: drain when the whole queue emptied.
+        self._fg_pending: int = 0
         #: Live (unfinished) processes, for deadlock detection at drain.
         self._live_processes: set = set()
 
@@ -290,9 +308,15 @@ class Simulator:
         """Create a new pending :class:`Event`."""
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` time units from now."""
-        return Timeout(self, delay, value)
+    def timeout(
+        self, delay: float, value: Any = None, daemon: bool = False
+    ) -> Timeout:
+        """Create an event that fires ``delay`` time units from now.
+
+        ``daemon=True`` makes it a background timeout that never keeps
+        the simulation alive (see :class:`Timeout`).
+        """
+        return Timeout(self, delay, value, daemon=daemon)
 
     def process(self, generator, daemon: bool = False) -> "Process":
         """Start a new process running ``generator``.
@@ -316,12 +340,23 @@ class Simulator:
     # -- scheduling ----------------------------------------------------------
 
     def schedule(
-        self, event: Event, delay: float = 0.0, priority: int = NORMAL
+        self,
+        event: Event,
+        delay: float = 0.0,
+        priority: int = NORMAL,
+        daemon: bool = False,
     ) -> None:
-        """Insert a triggered event into the queue ``delay`` from now."""
+        """Insert a triggered event into the queue ``delay`` from now.
+
+        ``daemon=True`` schedules a background event that does not keep
+        :meth:`run` alive once all foreground events have drained.
+        """
         heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
+            self._queue,
+            (self._now + delay, priority, next(self._eid), daemon, event),
         )
+        if not daemon:
+            self._fg_pending += 1
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if queue is empty."""
@@ -332,8 +367,10 @@ class Simulator:
 
         Raises :class:`IndexError` ("empty schedule") if nothing is queued.
         """
-        time, _prio, _eid, event = heapq.heappop(self._queue)
+        time, _prio, _eid, daemon, event = heapq.heappop(self._queue)
         self._now = time
+        if not daemon:
+            self._fg_pending -= 1
         if self._metrics_events is not None:
             self._metrics_events.value += 1
 
@@ -359,6 +396,12 @@ class Simulator:
         * a number — run until the clock reaches that time;
         * an :class:`Event` — run until that event is processed, returning
           its value (or raising its exception).
+
+        Background (daemon) events never keep the run alive: once only
+        background timeouts remain queued, the run drains exactly as if
+        the queue were empty.  This is what lets periodic monitors
+        (failure detectors, invariant checkers) tick forever without
+        wedging ``run()``.
         """
         stop_event: Optional[Event] = None
         if until is not None:
@@ -381,11 +424,13 @@ class Simulator:
                 stop_event._value = None
                 stop_event.callbacks.append(self._stop_callback)
                 heapq.heappush(
-                    self._queue, (deadline, URGENT, next(self._eid), stop_event)
+                    self._queue,
+                    (deadline, URGENT, next(self._eid), False, stop_event),
                 )
+                self._fg_pending += 1
 
         try:
-            while self._queue:
+            while self._queue and self._fg_pending > 0:
                 self.step()
         except StopSimulation as stop:
             if isinstance(until, Event):

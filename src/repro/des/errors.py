@@ -68,5 +68,29 @@ class SimDeadlockError(SimulationError):
         )
 
 
+class SimOverloadError(SimulationError):
+    """A bounded queue ran out of credits (backpressure, not growth).
+
+    Raised by the transport layer when credit-based flow control is
+    armed (see ``Network.set_flow_control``) and a sender tries to push
+    more unacknowledged reliable packets onto one ``(src, dst, port)``
+    channel than its credit window allows.  Without flow control the
+    retransmit state would grow without bound under sustained loss or a
+    slow receiver; with it, overload surfaces as this typed error at
+    the send site instead.
+    """
+
+    def __init__(self, src, dst, port, credits):
+        self.src = src
+        self.dst = dst
+        self.port = port
+        self.credits = credits
+        super().__init__(
+            f"flow-control credits exhausted: {src!r} -> {dst!r} on port "
+            f"{port!r} already has {credits} unacknowledged packet(s) in "
+            "flight"
+        )
+
+
 class ProcessDead(SimulationError):
     """An operation targeted a process that has already terminated."""

@@ -70,6 +70,12 @@ class Cluster:
         in :attr:`fault_stats`.
     seed:
         Root seed for the fault plan's random streams.
+    resilience:
+        A :class:`~repro.resilience.ResiliencePolicy` to arm: failure
+        detector (crash recovery by detection instead of the oracle),
+        supervision restarts, transport flow control.  The armed
+        :class:`~repro.resilience.ResilienceSuite` is exposed as
+        :attr:`resilience`; its statistics as :attr:`resilience_stats`.
     name_prefix:
         Host names are ``f"{name_prefix}{index}"``.
     """
@@ -83,6 +89,7 @@ class Cluster:
         metrics: Union[bool, MetricsRegistry] = False,
         faults: Any = None,
         seed: int = 0,
+        resilience: Any = None,
         name_prefix: str = "host",
     ):
         self.sim = Simulator()
@@ -112,6 +119,13 @@ class Cluster:
             from .faults import FaultInjector
 
             self.injector = FaultInjector(self.network, faults, seed=seed)
+        self.resilience = None
+        if resilience is not None:
+            from .resilience import ResilienceSuite
+
+            self.resilience = ResilienceSuite(
+                self.network, resilience, seed=seed
+            )
 
     # -- construction of the software layers (lazy) -------------------------
 
@@ -230,6 +244,12 @@ class Cluster:
         """Injection/recovery counters (empty dict without a fault plan)."""
         return dict(self.injector.counts) if self.injector is not None else {}
 
+    @property
+    def resilience_stats(self) -> dict:
+        """Detector/supervision/invariant statistics (empty without a
+        resilience policy)."""
+        return self.resilience.stats() if self.resilience is not None else {}
+
     def breakdown(self) -> dict:
         """Per-category cost breakdown of the run so far.
 
@@ -312,6 +332,7 @@ class Experiment:
         self._metrics: Union[bool, MetricsRegistry] = False
         self._faults: Any = None
         self._seed = 0
+        self._resilience: Any = None
         self._name_prefix = "host"
 
     # -- builder steps (each returns self) ----------------------------------
@@ -348,6 +369,11 @@ class Experiment:
         self._seed = seed
         return self
 
+    def resilience(self, policy: Any) -> "Experiment":
+        """Arm a :class:`~repro.resilience.ResiliencePolicy` on the run."""
+        self._resilience = policy
+        return self
+
     def name_prefix(self, prefix: str) -> "Experiment":
         self._name_prefix = prefix
         return self
@@ -364,6 +390,7 @@ class Experiment:
             metrics=self._metrics,
             faults=self._faults,
             seed=self._seed,
+            resilience=self._resilience,
             name_prefix=self._name_prefix,
         )
 

@@ -19,6 +19,12 @@ Entry points: ``repro.cluster(n, faults=plan, seed=s)``,
 """
 
 from .injector import FaultInjector
-from .plan import FaultEvent, FaultPlan, RetransmitPolicy
+from .plan import FaultEvent, FaultPlan, FaultPlanError, RetransmitPolicy
 
-__all__ = ["FaultEvent", "FaultInjector", "FaultPlan", "RetransmitPolicy"]
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "RetransmitPolicy",
+]

@@ -45,7 +45,7 @@ class FaultInjector:
     def __init__(self, network, plan: FaultPlan, rng=None, seed: int = 0):
         self.network = network
         self.sim = network.sim
-        self.plan = plan
+        self.plan = plan.validate(network.host_names)
         self.rng = rng if rng is not None else RngRegistry(seed)
         #: Host-name pairs currently partitioned (order-insensitive).
         self.partitions: set[frozenset] = set()

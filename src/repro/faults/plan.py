@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["FaultEvent", "FaultPlan", "RetransmitPolicy"]
+__all__ = ["FaultEvent", "FaultPlan", "FaultPlanError", "RetransmitPolicy"]
 
 #: Timed-event kinds understood by the injector.
 CRASH = "crash"
@@ -40,6 +40,16 @@ HEAL = "heal"
 HANG = "hang"
 
 _KINDS = (CRASH, RESTART, PARTITION, HEAL, HANG)
+
+
+class FaultPlanError(ValueError):
+    """A fault plan is malformed for the cluster it is being armed on.
+
+    Raised at *arm* time (``FaultInjector`` construction), not at build
+    time: a plan is a pure description and may legitimately mention
+    hosts that only exist in some clusters.  Rate and per-event range
+    errors are still raised eagerly by the builder as ``ValueError``.
+    """
 
 
 @dataclass(frozen=True)
@@ -224,6 +234,134 @@ class FaultPlan:
     def sorted_events(self) -> list[FaultEvent]:
         """Events in application order (stable on insertion order)."""
         return sorted(self.events, key=lambda e: e.at)
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self, host_names=None) -> "FaultPlan":
+        """Check the plan's internal consistency; returns ``self``.
+
+        Raises :class:`FaultPlanError` on the schedule-level mistakes a
+        per-event constructor cannot see: events (or rate keys) naming
+        hosts the cluster does not have, a restart of a host that never
+        crashed, a second crash without an intervening restart, and
+        overlapping partition intervals (or a heal with no matching
+        partition) on the same link.  The injector calls this at arm
+        time with the live network's host list.
+        """
+        known = set(host_names) if host_names is not None else None
+
+        def check_host(name, what):
+            if name is not None and known is not None and name not in known:
+                raise FaultPlanError(
+                    f"{what} names unknown host {name!r}; cluster has "
+                    f"{sorted(known)}"
+                )
+
+        for table, label in (
+            (self._drop, "drop"),
+            (self._duplicate, "duplicate"),
+            (self._corrupt, "corrupt"),
+        ):
+            for src, dst in table:
+                check_host(src, f"{label} rate src")
+                check_host(dst, f"{label} rate dst")
+
+        down: set[str] = set()
+        cut: set[frozenset] = set()
+        for event in self.sorted_events():
+            check_host(event.host, f"{event.kind} event at t={event.at}")
+            check_host(event.peer, f"{event.kind} event at t={event.at}")
+            if event.kind == CRASH:
+                if event.host in down:
+                    raise FaultPlanError(
+                        f"host {event.host!r} crashes again at "
+                        f"t={event.at} without an intervening restart"
+                    )
+                down.add(event.host)
+            elif event.kind == RESTART:
+                if event.host not in down:
+                    raise FaultPlanError(
+                        f"restart of {event.host!r} at t={event.at} "
+                        "but it never crashed before that"
+                    )
+                down.discard(event.host)
+            elif event.kind in (PARTITION, HEAL):
+                if event.host == event.peer:
+                    raise FaultPlanError(
+                        f"{event.kind} at t={event.at} links host "
+                        f"{event.host!r} to itself"
+                    )
+                pair = frozenset((event.host, event.peer))
+                if event.kind == PARTITION:
+                    if pair in cut:
+                        raise FaultPlanError(
+                            f"link {event.host!r}<->{event.peer!r} is "
+                            f"partitioned again at t={event.at} while "
+                            "already cut (overlapping intervals)"
+                        )
+                    cut.add(pair)
+                else:
+                    if pair not in cut:
+                        raise FaultPlanError(
+                            f"heal of {event.host!r}<->{event.peer!r} at "
+                            f"t={event.at} but that link is not "
+                            "partitioned"
+                        )
+                    cut.discard(pair)
+        return self
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form; inverse of :meth:`from_dict`.
+
+        Rate keys flatten to ``[src, dst, rate]`` triples (``None`` is a
+        wildcard) because JSON objects cannot key on tuples.
+        """
+        policy = self.retransmit_policy
+        return {
+            "events": [
+                {
+                    "at": e.at,
+                    "kind": e.kind,
+                    "host": e.host,
+                    "peer": e.peer,
+                    "duration": e.duration,
+                }
+                for e in self.events
+            ],
+            "drop": [[s, d, r] for (s, d), r in sorted(
+                self._drop.items(), key=repr)],
+            "duplicate": [[s, d, r] for (s, d), r in sorted(
+                self._duplicate.items(), key=repr)],
+            "corrupt": [[s, d, r] for (s, d), r in sorted(
+                self._corrupt.items(), key=repr)],
+            "retransmit": {
+                "timeout_s": policy.timeout_s,
+                "backoff": policy.backoff,
+                "jitter": policy.jitter,
+                "max_retries": policy.max_retries,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan serialized by :meth:`to_dict` (validating as
+        the builder would)."""
+        plan = cls()
+        for entry in data.get("events", ()):
+            plan._add(FaultEvent(**entry))
+        for method, key in (
+            (plan.drop, "drop"),
+            (plan.duplicate, "duplicate"),
+            (plan.corrupt, "corrupt"),
+        ):
+            for src, dst, rate in data.get(key, ()):
+                method(rate, src=src, dst=dst)
+        policy = data.get("retransmit")
+        if policy is not None:
+            plan.retransmit(**policy)
+        return plan
 
     def __repr__(self) -> str:
         return (

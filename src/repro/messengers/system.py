@@ -101,11 +101,16 @@ class MessengersSystem:
         self._program_cache: dict[tuple, Program] = {}
         #: Hop-boundary checkpoints by messenger id (crash recovery).
         self._checkpoints: dict[int, _Checkpoint] = {}
+        #: Crash victims awaiting the failure announcement, per host.
+        self._crash_victims: dict[str, dict[int, Messenger]] = {}
         # Daemon traffic opts into at-least-once + dedup delivery (free
         # until a lossy fault plan is attached), and the system repairs
-        # the logical network + re-dispatches lost Messengers on crashes.
+        # the logical network + re-dispatches lost Messengers once a
+        # crash is *known* (immediately in oracle mode, at detection
+        # time when a failure detector is attached).
         network.set_reliable(Daemon.port_name)
         network.add_crash_listener(self._on_host_crash)
+        network.add_failure_listener(self._on_host_failure)
         network.add_restart_listener(self._on_host_restart)
 
     def trace(self, messenger, kind: str, daemon: str, detail: str = ""):
@@ -342,26 +347,17 @@ class MessengersSystem:
         if checkpoint is not None:
             checkpoint.prev = None
 
-    def _on_host_crash(self, host, lost_packets) -> None:
-        """Network crash listener: kill victims, repair, re-dispatch.
+    def _collect_victims(
+        self, name: str, lost_packets, victims: dict
+    ) -> None:
+        """Gather crash casualties of daemon ``name`` into ``victims``.
 
         Victims are (a) alive Messengers whose current logical node lives
         on the dead daemon (resident, ready, executing, suspended, or
         already placed in flight toward it), (b) Messengers riding in the
         dead host's lost transmit/receive queues, and (c) in-flight
-        create requests addressed to the dead daemon.  The dead daemon's
-        logical nodes are re-homed round-robin onto the survivors, then
-        every victim with a checkpoint held by a live daemon is replayed
-        from its last hop boundary.
+        create requests addressed to the dead daemon.
         """
-        name = host.name
-        daemon = self.daemons.get(name)
-        if daemon is None:
-            return
-        daemon.dead = True
-        faults = self.network.faults
-
-        victims: dict[int, Messenger] = {}
         for messenger in self.messengers.values():
             if (
                 messenger.alive
@@ -387,6 +383,7 @@ class MessengersSystem:
             ):
                 victims[messenger.id] = messenger
 
+    def _kill_victims(self, name: str, victims: dict, faults) -> None:
         for messenger in victims.values():
             messenger.kill()
             messenger.suspended = False
@@ -395,6 +392,51 @@ class MessengersSystem:
             if faults is not None:
                 faults.count("messengers_crashed")
             self.deactivate(messenger)
+
+    def _on_host_crash(self, host, lost_packets) -> None:
+        """Physical phase of a crash: victims die, nothing else happens.
+
+        A dead CPU executes nothing, so everything resident on (or in
+        flight into) the dead daemon dies *now* — but recovery is
+        knowledge, and nobody has it yet: repair and re-dispatch wait
+        for :meth:`_on_host_failure` (which follows immediately in
+        oracle mode and at detection time when a failure detector
+        drives the announcement).
+        """
+        name = host.name
+        daemon = self.daemons.get(name)
+        if daemon is None:
+            return
+        daemon.dead = True
+        faults = self.network.faults
+        victims: dict[int, Messenger] = {}
+        self._collect_victims(name, lost_packets, victims)
+        self._kill_victims(name, victims, faults)
+        self._crash_victims[name] = victims
+
+    def _on_host_failure(self, host) -> None:
+        """Knowledge phase of a crash: repair the net, replay victims.
+
+        Between the crash and its announcement more Messengers may have
+        hopped toward the dead daemon (their packets died at the NIC of
+        a sender that did not know better), so casualties are collected
+        a second time here.  Then the dead daemon's logical nodes are
+        re-homed round-robin onto the survivors, and every victim with a
+        checkpoint held by a live daemon is replayed from its last hop
+        boundary.
+        """
+        name = host.name
+        daemon = self.daemons.get(name)
+        if daemon is None:
+            return
+        faults = self.network.faults
+        victims = self._crash_victims.pop(name, {})
+        late: dict[int, Messenger] = {}
+        self._collect_victims(name, (), late)
+        for mid in victims:
+            late.pop(mid, None)
+        self._kill_victims(name, late, faults)
+        victims.update(late)
 
         # Logical-network repair: re-home the dead daemon's nodes onto
         # the survivors so existing links keep routing (§2.1's logical

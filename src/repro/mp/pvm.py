@@ -45,10 +45,15 @@ class MessagePassingSystem:
         #: and host-delete watchers [(watcher, tag), ...].
         self._exit_watchers: dict[int, list[tuple[int, int]]] = {}
         self._host_watchers: list[tuple[int, int]] = []
+        #: Crash victims whose notifications are held back until the
+        #: failure is announced (oracle mode announces immediately).
+        self._silenced: set[int] = set()
+        self._crash_victims: dict[str, list[int]] = {}
         # Task traffic opts into at-least-once + dedup delivery; free
         # until a lossy fault plan is attached.
         network.set_reliable(self.port_name)
         network.add_crash_listener(self._on_host_crash)
+        network.add_failure_listener(self._on_host_failure)
         for host_name in network.host_names:
             self.sim.process(self._delivery_daemon(host_name), daemon=True)
 
@@ -70,10 +75,19 @@ class MessagePassingSystem:
         """
         host_name = host if host is not None else next(self._placement)
         tid = next(self._tids)
-        task = Task(
-            tid, self.network.host(host_name), behavior.__name__, parent
-        )
+        host_obj = self.network.host(host_name)
+        task = Task(tid, host_obj, behavior.__name__, parent)
         self._tasks[tid] = task
+        if host_obj.crashed:
+            # The pvmd on a dead host cannot enrol anything: the spawn
+            # is stillborn.  The tid is returned exited, so a parent's
+            # pvm_notify subscription fires immediately and its re-queue
+            # logic recovers — the same path as a post-spawn crash.
+            task.exited = True
+            faults = self.network.faults
+            if faults is not None:
+                faults.count("spawns_to_dead_host")
+            return tid
         context = TaskContext(self, task)
         task.process = self.sim.process(
             self._run_task(task, behavior, context, args)
@@ -157,7 +171,7 @@ class MessagePassingSystem:
         watcher.mailbox.put((SYSTEM, tag, buf))
 
     def _task_exited(self, task: Task) -> None:
-        if task.exit_notified:
+        if task.exit_notified or task.tid in self._silenced:
             return
         task.exit_notified = True
         for watcher_tid, tag in self._exit_watchers.pop(task.tid, []):
@@ -166,10 +180,13 @@ class MessagePassingSystem:
             )
 
     def _on_host_crash(self, host, lost_packets) -> None:
-        """Network crash listener: kill resident tasks, tell watchers.
+        """Physical phase of a crash: resident tasks die, silently.
 
-        Order mirrors PVM: the host's tasks die with it (their TaskExit
-        notifications fire), then HostDelete notifications go out.
+        The tasks stop executing *now* (a dead CPU runs nothing), but
+        the pvmds on the survivors have not noticed yet — TaskExit and
+        HostDelete notifications wait for :meth:`_on_host_failure`
+        (which follows immediately in oracle mode and at detection time
+        when a failure detector drives the announcement).
         """
         victims = [
             task for task in self._tasks.values()
@@ -179,11 +196,23 @@ class MessagePassingSystem:
         if faults is not None and victims:
             faults.count("tasks_crashed", len(victims))
         for task in victims:
+            self._silenced.add(task.tid)
             self.kill(task.tid)
-            # kill() marks the task exited and interrupts its process;
-            # the exit notification must not wait for the interrupt to
-            # be delivered (the watcher may race a recv against it).
-            self._task_exited(task)
+        self._crash_victims[host.name] = [t.tid for t in victims]
+
+    def _on_host_failure(self, host) -> None:
+        """Knowledge phase of a crash: the surviving pvmds tell watchers.
+
+        Order mirrors PVM: the dead host's tasks notify first (their
+        TaskExit notifications fire), then HostDelete notifications go
+        out.  The watcher's local pvmd synthesizes both, so delivery
+        does not depend on the dead host.
+        """
+        for tid in self._crash_victims.pop(host.name, []):
+            self._silenced.discard(tid)
+            task = self._tasks.get(tid)
+            if task is not None:
+                self._task_exited(task)
         for watcher_tid, tag in list(self._host_watchers):
             self._deliver_notification(
                 watcher_tid, tag, PackBuffer().pack_string(host.name)

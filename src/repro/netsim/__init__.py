@@ -5,6 +5,7 @@ with a deterministic model.  See DESIGN.md §2 for the substitution
 rationale and :mod:`repro.netsim.costs` for every calibration constant.
 """
 
+from ..des.errors import SimOverloadError
 from .costs import CacheModel, CostModel, DEFAULT_COSTS, sparc5_costs
 from .ethernet import EthernetSegment
 from .host import Host, HostCrashedError
@@ -19,6 +20,7 @@ __all__ = [
     "HostCrashedError",
     "Network",
     "Packet",
+    "SimOverloadError",
     "build_lan",
     "sparc5_costs",
 ]

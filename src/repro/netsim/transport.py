@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
 from ..des import Simulator, Store
+from ..des.errors import SimOverloadError
 from .costs import CostModel, DEFAULT_COSTS
 from .ethernet import EthernetSegment
 from .host import Host, HostCrashedError
@@ -78,6 +79,23 @@ class Network:
         self._awaiting_ack: dict[tuple, Any] = {}
         self._crash_listeners: list = []
         self._restart_listeners: list = []
+        #: Knowledge-phase listeners: run when a crash becomes *known*
+        #: (immediately in oracle mode; at detection time otherwise).
+        self._failure_listeners: list = []
+        #: Hosts that crashed but whose failure is not yet announced.
+        self._unannounced_crashes: set[str] = set()
+        #: None = oracle mode (failures announced at crash time).  A
+        #: float arms detection mode: announcements wait for
+        #: :meth:`announce_failure` (the failure detector), and each
+        #: crash schedules a foreground no-op timeout this many seconds
+        #: out so the simulation cannot drain before the detector has
+        #: had its chance to notice.
+        self._detection_horizon_s: Optional[float] = None
+        #: Credit window for reliable channels (None = unlimited).
+        self._flow_credits: Optional[int] = None
+        self._inflight: dict[tuple, int] = {}
+        #: Counter of sends refused by flow control (for reporting).
+        self.overloads = 0
 
     # -- topology ---------------------------------------------------------
 
@@ -129,20 +147,88 @@ class Network:
         """
         self._reliable_ports.add(port)
 
+    def set_flow_control(self, credits: Optional[int]) -> None:
+        """Bound every reliable channel to ``credits`` unacked packets.
+
+        Credit-based flow control: each ``(src, dst, port)`` channel may
+        hold at most ``credits`` unacknowledged packets; a send beyond
+        that raises :class:`~repro.des.SimOverloadError` instead of
+        growing the retransmit state without bound.  ``None`` (the
+        default) disarms the bound.  Only sequenced (reliable, lossy-
+        plan) traffic consumes credits — there is no retransmit state to
+        bound otherwise.
+        """
+        if credits is not None and credits < 1:
+            raise ValueError(f"need at least one credit, got {credits}")
+        self._flow_credits = credits
+
+    def _release_credit(self, key: tuple) -> None:
+        count = self._inflight.get(key)
+        if count is not None:
+            if count <= 1:
+                self._inflight.pop(key, None)
+            else:
+                self._inflight[key] = count - 1
+
     def add_crash_listener(self, listener) -> None:
-        """``listener(host, lost_packets)`` runs when a host crashes."""
+        """``listener(host, lost_packets)`` runs when a host crashes.
+
+        This is the *physical* phase: the host's queues just dropped and
+        anything resident on it died.  It always runs at crash time —
+        a dead CPU executes nothing regardless of who knows about it.
+        Recovery logic belongs in a failure listener instead.
+        """
         self._crash_listeners.append(listener)
+
+    def add_failure_listener(self, listener) -> None:
+        """``listener(host)`` runs when a crash becomes *known*.
+
+        This is the *knowledge* phase — notifications, logical-network
+        repair, re-dispatch.  In oracle mode (the default) it fires
+        immediately after the crash listeners; with
+        :meth:`enable_detection` it waits for a failure detector to call
+        :meth:`announce_failure`.
+        """
+        self._failure_listeners.append(listener)
 
     def add_restart_listener(self, listener) -> None:
         """``listener(host)`` runs when a crashed host restarts."""
         self._restart_listeners.append(listener)
 
+    def enable_detection(self, horizon_s: float) -> None:
+        """Switch crash announcements from oracle to detection mode.
+
+        ``horizon_s`` is the attached detector's worst-case detection
+        latency: every crash schedules one foreground no-op timeout that
+        far out, so the event queue cannot drain between a crash and the
+        detector's suspicion tick (which itself runs on background
+        timeouts).  If the detector fails to announce within the
+        horizon, the run ends with the casualty unrecovered — and the
+        recovery layers report that loudly.
+        """
+        if horizon_s <= 0:
+            raise ValueError(f"detection horizon must be positive, got "
+                             f"{horizon_s}")
+        self._detection_horizon_s = horizon_s
+
+    @property
+    def detection_enabled(self) -> bool:
+        return self._detection_horizon_s is not None
+
+    @property
+    def unannounced_crashes(self) -> list[str]:
+        """Hosts that are down but whose failure nobody knows about yet."""
+        return sorted(self._unannounced_crashes)
+
     def crash_host(self, name: str) -> None:
         """Fail-stop ``name``: its CPU rejects work, its queues drop.
 
-        Listeners (the MESSENGERS system, the PVM workalike) are handed
-        the packets that died in the host's queues so they can recover
-        in-flight work.  Idempotent while the host stays down.
+        Crash listeners (the physical phase) are handed the packets that
+        died in the host's queues so they can identify in-flight
+        casualties.  The failure announcement (the knowledge phase —
+        recovery) follows immediately in oracle mode, or waits for the
+        failure detector in detection mode.  Idempotent while the host
+        stays down.
         """
         host = self.host(name)
         if host.crashed:
@@ -158,12 +244,43 @@ class Network:
             self.faults.count("packets_lost_in_crash", len(lost))
         for listener in list(self._crash_listeners):
             listener(host, lost)
+        self._unannounced_crashes.add(name)
+        if self._detection_horizon_s is None:
+            self.announce_failure(name)
+        else:
+            # Keep the simulation alive until the detector can notice.
+            self.sim.timeout(self._detection_horizon_s)
+
+    def announce_failure(self, name: str) -> bool:
+        """Declare host ``name`` failed and run the recovery listeners.
+
+        Called by a failure detector (or internally, right at crash
+        time, in oracle mode).  Announcing a host that is alive or whose
+        crash was already announced is a no-op returning ``False`` — a
+        detector's false suspicion must not kill a healthy host's work.
+        """
+        if name not in self._unannounced_crashes:
+            return False
+        self._unannounced_crashes.discard(name)
+        host = self.host(name)
+        if self.faults is not None:
+            self.faults.count("failures_announced")
+        for listener in list(self._failure_listeners):
+            listener(host)
+        return True
 
     def restart_host(self, name: str) -> None:
-        """Bring a crashed host back and re-register its ports/pumps."""
+        """Bring a crashed host back and re-register its ports/pumps.
+
+        A restart of a host whose crash was never announced announces it
+        first: the rebooting daemon knows it lost its volatile state (an
+        incarnation-number protocol in a real system) and recovery must
+        not be skipped just because the detector never fired.
+        """
         host = self.host(name)
         if not host.crashed:
             return
+        self.announce_failure(name)
         host.restart()
         self.add_host(host)
         for listener in list(self._restart_listeners):
@@ -266,6 +383,8 @@ class Network:
             ack = yield port.get()
             pending = self._awaiting_ack.pop(ack.payload, None)
             if pending is not None and not pending.triggered:
+                src, dst, packet_port, _seq = ack.payload
+                self._release_credit((src, dst, packet_port))
                 pending.succeed()
 
     def _retransmitter(self, packet: Packet, ack_event):
@@ -293,6 +412,7 @@ class Network:
         else:
             faults.count("retransmits_exhausted")
         self._awaiting_ack.pop(key, None)
+        self._release_credit((packet.src, packet.dst, packet.port))
         faults.count("retransmits_abandoned")
 
     def host(self, name: str) -> Host:
@@ -341,6 +461,17 @@ class Network:
             and packet.port in self._reliable_ports
         ):
             key = (packet.src, packet.dst, packet.port)
+            credits = self._flow_credits
+            if credits is not None:
+                inflight = self._inflight.get(key, 0)
+                if inflight >= credits:
+                    self.overloads += 1
+                    if self.faults is not None:
+                        self.faults.count("overloads")
+                    raise SimOverloadError(
+                        packet.src, packet.dst, packet.port, credits
+                    )
+                self._inflight[key] = inflight + 1
             seq = self._next_seq.get(key, 0)
             self._next_seq[key] = seq + 1
             packet.seq = seq

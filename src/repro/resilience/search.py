@@ -1,0 +1,214 @@
+"""Schedule search: hunt for fault schedules that break an invariant.
+
+A single ``repro chaos`` run checks one fault schedule.  The searcher
+explores *many*: it enumerates fault schedules built from a small atom
+vocabulary (a host crash at some fraction of the fault-free runtime, a
+packet-loss rate), runs the workload under each, and records every
+schedule whose run raises a violation.  When it finds one, it shrinks
+the schedule ddmin-style to a *minimal* reproducer — the smallest
+:class:`~repro.faults.FaultPlan` that still triggers the violation —
+because a two-atom reproducer is worth a thousand flaky ten-atom ones.
+
+Search order is deterministic: a bounded-depth DFS over the atom list
+(singletons first, then pairs, ...) followed by random schedules drawn
+from the ``resilience.search`` :class:`~repro.des.RngRegistry` stream,
+so a (seed, vocabulary) pair always explores the same schedules in the
+same order.  The runner is any callable ``runner(plan, seed)`` that
+raises a :class:`~repro.des.SimulationError` subclass (an
+:class:`~repro.resilience.InvariantViolation`, a deadlock, a stranded
+recovery) when the run is broken and returns normally otherwise.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..des import SimulationError
+from ..des.rng import RngRegistry
+from ..faults import FaultPlan
+
+__all__ = ["ScheduleSearcher"]
+
+#: RNG stream for the random-restart half of the search.
+SEARCH_STREAM = "resilience.search"
+
+
+def _atom_key(atom: dict) -> tuple:
+    return tuple(sorted(atom.items()))
+
+
+class ScheduleSearcher:
+    """Bounded DFS + random restarts over fault schedules.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(plan, seed)`` — runs the workload under ``plan``;
+        raises on violation.
+    hosts:
+        Host names eligible to crash (exclude the coordinator host if
+        the workload cannot survive losing it by design).
+    horizon_s:
+        Fault-free runtime; crash atoms fire at fractions of it.
+    crash_fractions / loss_rates:
+        The atom vocabulary.
+    violation_types:
+        Exception classes that count as violations; anything else
+        propagates (a searcher bug must not masquerade as a finding).
+    """
+
+    def __init__(
+        self,
+        runner: Callable,
+        hosts: Sequence[str],
+        horizon_s: float,
+        seed: int = 0,
+        crash_fractions: Sequence[float] = (0.25, 0.5, 0.75),
+        loss_rates: Sequence[float] = (0.05,),
+        violation_types: tuple = (SimulationError,),
+    ):
+        if horizon_s <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon_s}")
+        self.runner = runner
+        self.seed = seed
+        self.violation_types = violation_types
+        self._rng = RngRegistry(seed).stream(SEARCH_STREAM)
+        self.atoms: list[dict] = []
+        for host in hosts:
+            for fraction in crash_fractions:
+                self.atoms.append({
+                    "kind": "crash",
+                    "host": host,
+                    "at": round(fraction * horizon_s, 9),
+                })
+        for rate in loss_rates:
+            self.atoms.append({"kind": "drop", "rate": rate})
+        if not self.atoms:
+            raise ValueError("empty atom vocabulary: nothing to search")
+        self.schedules_run = 0
+
+    # -- schedule construction ---------------------------------------------
+
+    def plan_for(self, atoms: Iterable[dict]) -> FaultPlan:
+        """Materialize one schedule as a :class:`FaultPlan`."""
+        plan = FaultPlan()
+        for atom in atoms:
+            if atom["kind"] == "crash":
+                plan.crash(atom["host"], at=atom["at"])
+            elif atom["kind"] == "drop":
+                plan.drop(atom["rate"])
+            else:
+                raise ValueError(f"unknown atom kind {atom['kind']!r}")
+        return plan
+
+    def _valid(self, atoms: Sequence[dict]) -> bool:
+        # At most one crash per host (no restart atoms in the
+        # vocabulary) and one global loss rate.
+        crashed = [a["host"] for a in atoms if a["kind"] == "crash"]
+        drops = [a for a in atoms if a["kind"] == "drop"]
+        return len(crashed) == len(set(crashed)) and len(drops) <= 1
+
+    def _dfs_schedules(self, max_depth: int):
+        for depth in range(1, max_depth + 1):
+            for combo in combinations(range(len(self.atoms)), depth):
+                atoms = [self.atoms[i] for i in combo]
+                if self._valid(atoms):
+                    yield atoms
+
+    def _random_schedule(self) -> list[dict]:
+        size = self._rng.randint(1, min(3, len(self.atoms)))
+        picks = self._rng.sample(range(len(self.atoms)), size)
+        return [self.atoms[i] for i in sorted(picks)]
+
+    # -- running -----------------------------------------------------------
+
+    def _run(self, atoms: Sequence[dict]) -> Optional[Exception]:
+        self.schedules_run += 1
+        try:
+            self.runner(self.plan_for(atoms), self.seed)
+        except self.violation_types as exc:
+            return exc
+        return None
+
+    def search(
+        self,
+        max_schedules: int = 50,
+        max_depth: int = 2,
+        stop_at_first: bool = True,
+    ) -> dict:
+        """Explore up to ``max_schedules`` schedules; report findings.
+
+        The report is JSON-friendly: every violating schedule appears
+        with its atoms and error, and the first violation (when
+        ``stop_at_first``) is shrunk to a minimal reproducer whose
+        serialized plan (:meth:`FaultPlan.to_dict`) can be replayed
+        verbatim.
+        """
+        violations: list[dict] = []
+        minimal: Optional[dict] = None
+        seen: set[tuple] = set()
+
+        def schedules():
+            yield from self._dfs_schedules(max_depth)
+            while True:
+                yield self._random_schedule()
+
+        for atoms in schedules():
+            if self.schedules_run >= max_schedules:
+                break
+            key = tuple(sorted(_atom_key(a) for a in atoms))
+            if key in seen or not self._valid(atoms):
+                continue
+            seen.add(key)
+            error = self._run(atoms)
+            if error is None:
+                continue
+            violations.append({
+                "atoms": list(atoms),
+                "error": type(error).__name__,
+                "message": str(error).splitlines()[0],
+            })
+            if stop_at_first:
+                shrunk = self.shrink(atoms)
+                minimal = {
+                    "atoms": shrunk,
+                    "plan": self.plan_for(shrunk).to_dict(),
+                    "seed": self.seed,
+                }
+                break
+
+        return {
+            "schedules_run": self.schedules_run,
+            "atom_vocabulary": len(self.atoms),
+            "violations": violations,
+            "minimal": minimal,
+            "clean": not violations,
+        }
+
+    # -- shrinking ---------------------------------------------------------
+
+    def shrink(self, atoms: Sequence[dict]) -> list[dict]:
+        """ddmin-style reduction: drop atoms while the violation holds.
+
+        Greedy single-atom removal to a fixed point — for the small
+        schedules the searcher builds, this finds a 1-minimal
+        reproducer in O(n^2) runs.
+        """
+        current = list(atoms)
+        shrunk = True
+        while shrunk and len(current) > 1:
+            shrunk = False
+            for index in range(len(current)):
+                candidate = current[:index] + current[index + 1:]
+                if self._run(candidate) is not None:
+                    current = candidate
+                    shrunk = True
+                    break
+        return current
+
+    def __repr__(self) -> str:
+        return (
+            f"<ScheduleSearcher atoms={len(self.atoms)} "
+            f"run={self.schedules_run}>"
+        )

@@ -1,0 +1,133 @@
+"""Supervision: what to *do* about a detected failure.
+
+A :class:`Supervisor` subscribes to the network's failure announcements
+(the knowledge phase — so it composes with both oracle mode and any
+failure detector) and applies a :class:`RestartPolicy`:
+
+* ``one_for_one`` — restart the crashed host after ``delay_s``, every
+  time (the Erlang/OTP default for independent children);
+* ``give_up`` — restart up to ``max_restarts`` times per host, then
+  leave it down and record the surrender (the workload's own recovery
+  — re-homing, re-dispatch, notification-driven re-queueing — carries
+  on with fewer hosts);
+* ``escalate`` — restart up to ``max_restarts`` times per host, then
+  raise :class:`SupervisionEscalation`: this failure is beyond the
+  supervisor's mandate and the run must fail fast rather than limp.
+
+Restarts are scheduled as *foreground* simulation processes, so a
+pending restart keeps the run alive until it happens (the mirror image
+of the detectors, which run on background timeouts precisely so they
+never do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..des import SimulationError
+
+__all__ = [
+    "ESCALATE",
+    "GIVE_UP",
+    "ONE_FOR_ONE",
+    "RestartPolicy",
+    "SupervisionEscalation",
+    "Supervisor",
+]
+
+ONE_FOR_ONE = "one_for_one"
+GIVE_UP = "give_up"
+ESCALATE = "escalate"
+
+_STRATEGIES = (ONE_FOR_ONE, GIVE_UP, ESCALATE)
+
+
+class SupervisionEscalation(SimulationError):
+    """A host kept failing past its restart budget under ``escalate``."""
+
+    def __init__(self, host: str, restarts: int):
+        self.host = host
+        self.restarts = restarts
+        super().__init__(
+            f"host {host!r} failed again after {restarts} restart(s); "
+            "escalate policy gives up on the whole run"
+        )
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """How the supervisor reacts to an announced host failure."""
+
+    strategy: str = ONE_FOR_ONE
+    #: Simulated seconds between the announcement and the reboot
+    #: (models reboot + daemon re-registration time).
+    delay_s: float = 0.05
+    #: Per-host restart budget for ``give_up`` / ``escalate``.
+    max_restarts: int = 3
+
+    def __post_init__(self):
+        if self.strategy not in _STRATEGIES:
+            raise ValueError(
+                f"unknown restart strategy {self.strategy!r} "
+                f"(choose from {', '.join(_STRATEGIES)})"
+            )
+        if self.delay_s < 0:
+            raise ValueError(f"negative restart delay {self.delay_s}")
+        if self.max_restarts < 0:
+            raise ValueError(f"negative restart budget {self.max_restarts}")
+
+
+class Supervisor:
+    """Applies a :class:`RestartPolicy` to announced host failures."""
+
+    def __init__(self, network, policy: RestartPolicy, suite=None):
+        self.network = network
+        self.sim = network.sim
+        self.policy = policy
+        self.suite = suite
+        #: host -> restarts scheduled so far.
+        self.restarts: dict[str, int] = {}
+        #: Hosts left down after exhausting the budget (``give_up``).
+        self.gave_up: list[str] = []
+        network.add_failure_listener(self._on_failure)
+
+    def _on_failure(self, host) -> None:
+        name = host.name
+        done = self.restarts.get(name, 0)
+        policy = self.policy
+        within_budget = (
+            policy.strategy == ONE_FOR_ONE or done < policy.max_restarts
+        )
+        if within_budget:
+            self.restarts[name] = done + 1
+            if self.suite is not None:
+                self.suite.note(
+                    "restart_scheduled", host=name, attempt=done + 1,
+                    delay_s=policy.delay_s,
+                )
+            self.sim.process(self._restart_later(name, policy.delay_s))
+        elif policy.strategy == ESCALATE:
+            if self.suite is not None:
+                self.suite.note("escalate", host=name, restarts=done)
+            raise SupervisionEscalation(name, done)
+        else:  # GIVE_UP
+            self.gave_up.append(name)
+            if self.suite is not None:
+                self.suite.note("gave_up", host=name, restarts=done)
+
+    def _restart_later(self, name: str, delay_s: float):
+        yield self.sim.timeout(delay_s)
+        self.network.restart_host(name)
+
+    def stats(self) -> dict:
+        return {
+            "strategy": self.policy.strategy,
+            "restarts": sum(self.restarts.values()),
+            "gave_up": list(self.gave_up),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Supervisor {self.policy.strategy} "
+            f"restarts={sum(self.restarts.values())}>"
+        )

@@ -63,6 +63,42 @@ class TestFigure:
         assert "ratio" in out
 
 
+class TestChaos:
+    def test_chaos_json_report_with_detector(self, capsys):
+        import json
+
+        assert main([
+            "chaos", "--image", "32", "--grid", "2", "--procs", "2",
+            "--detect", "heartbeat", "--json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == 0
+        assert report["detect"] == "heartbeat"
+        for system in ("messengers", "pvm"):
+            row = report["systems"][system]
+            assert row["identical"] is True
+            assert row["resilience"]["detections"] == 1
+
+    def test_chaos_parser_rejects_unknown_detector(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--detect", "psychic"])
+
+
+class TestSearch:
+    def test_search_finds_manager_crash_violation(self, capsys):
+        import json
+
+        status = main([
+            "search", "--system", "pvm", "--image", "32", "--grid", "2",
+            "--procs", "2", "--schedules", "4", "--depth", "1",
+            "--loss", "0", "--include-manager", "--json",
+        ])
+        assert status == 1  # a violation was found
+        report = json.loads(capsys.readouterr().out)
+        assert not report["clean"]
+        assert report["minimal"]["atoms"][0]["host"] == "host0"
+
+
 class TestStats:
     def test_stats_breakdown_and_trace(self, tmp_path, capsys):
         import json

@@ -15,7 +15,13 @@ from repro.apps.mandelbrot.kernel import TaskGrid
 from repro.apps.mandelbrot.messengers_app import run_messengers
 from repro.apps.mandelbrot.pvm_app import run_pvm
 from repro.des import SimDeadlockError, Simulator
-from repro.faults import FaultEvent, FaultInjector, FaultPlan, RetransmitPolicy
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    RetransmitPolicy,
+)
 from repro.netsim import HostCrashedError, Packet, build_lan
 
 
@@ -65,6 +71,86 @@ class TestFaultPlan:
         assert [e.kind for e in plan.sorted_events()] == [
             "crash", "restart",
         ]
+
+
+class TestFaultPlanValidation:
+    """Schedule-level checks: typed errors at arm time, not mid-run."""
+
+    def test_rates_out_of_range_rejected_at_build(self):
+        with pytest.raises(ValueError):
+            FaultPlan().drop(-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan().duplicate(1.5)
+        with pytest.raises(ValueError):
+            FaultPlan().corrupt(2.0, src="host0")
+
+    def test_crash_of_unknown_host_rejected_at_arm_time(self):
+        sim = Simulator()
+        network = build_lan(sim, 2)  # host0, host1
+        plan = FaultPlan().crash("host9", at=1.0)
+        with pytest.raises(FaultPlanError, match="unknown host 'host9'"):
+            FaultInjector(network, plan)
+
+    def test_rate_key_with_unknown_host_rejected_at_arm_time(self):
+        sim = Simulator()
+        network = build_lan(sim, 2)
+        plan = FaultPlan().drop(0.1, dst="nosuch")
+        with pytest.raises(FaultPlanError, match="drop rate dst"):
+            FaultInjector(network, plan)
+
+    def test_overlapping_partition_intervals_rejected(self):
+        plan = (
+            FaultPlan()
+            .partition("a", "b", at=1.0)
+            .partition("b", "a", at=2.0)  # same link, still cut
+            .heal("a", "b", at=3.0)
+        )
+        with pytest.raises(FaultPlanError, match="overlapping"):
+            plan.validate()
+
+    def test_heal_of_unpartitioned_link_rejected(self):
+        with pytest.raises(FaultPlanError, match="not\\s+partitioned"):
+            FaultPlan().heal("a", "b", at=1.0).validate()
+
+    def test_self_partition_rejected(self):
+        with pytest.raises(FaultPlanError, match="itself"):
+            FaultPlan().partition("a", "a", at=1.0).validate()
+
+    def test_restart_without_crash_rejected(self):
+        with pytest.raises(FaultPlanError, match="never crashed"):
+            FaultPlan().restart("h", at=1.0).validate()
+
+    def test_double_crash_without_restart_rejected(self):
+        plan = FaultPlan().crash("h", at=1.0).crash("h", at=2.0)
+        with pytest.raises(FaultPlanError, match="intervening restart"):
+            plan.validate()
+
+    def test_crash_restart_crash_is_legal(self):
+        plan = (
+            FaultPlan()
+            .crash("h", at=1.0)
+            .restart("h", at=2.0)
+            .crash("h", at=3.0)
+        )
+        assert plan.validate() is plan
+
+    def test_round_trip_through_dict(self):
+        plan = (
+            FaultPlan()
+            .drop(0.1)
+            .drop(0.4, src="host1")
+            .duplicate(0.2, dst="host2")
+            .corrupt(0.05, src="host0", dst="host3")
+            .crash("host2", at=1.0)
+            .restart("host2", at=2.0)
+            .partition("host0", "host1", at=0.5)
+            .heal("host0", "host1", at=0.75)
+            .retransmit(timeout_s=0.5, max_retries=7)
+        )
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt.to_dict() == plan.to_dict()
+        assert rebuilt.drop_rate("host1", "hostX") == 0.4
+        assert rebuilt.retransmit_policy.max_retries == 7
 
 
 def _reliable_net(plan, seed=0, n_hosts=2):
@@ -497,3 +583,27 @@ class TestFacadeWiring:
             .run(lambda c: c.run())
         )
         assert result.cluster.fault_stats["host_crashes"] == 1
+
+
+class TestSpawnDuringCrashWindow:
+    """Regression: a crash landing inside PVM's synchronous spawn window
+    used to enrol a zombie task on the dead host (the crash listener had
+    already run) and deadlock the manager.  A spawn onto a crashed host
+    must come back stillborn so pvm_notify fires immediately."""
+
+    def test_stillborn_spawn_notifies_and_run_recovers(self):
+        # mp_spawn_s is 0.1s/worker, so crashing host2 at t=0.15 lands
+        # after worker 1's spawn but before worker 2's.
+        grid = TaskGrid(32, 2)
+        clean = run_pvm(grid, 2)
+        plan = FaultPlan().crash("host2", at=0.15)
+        faulty = run_pvm(grid, 2, faults=plan, seed=7)
+        assert _image_hash(faulty) == _image_hash(clean)
+        assert faulty.stats["faults"]["spawns_to_dead_host"] == 1
+
+    def test_crash_before_any_spawn_still_recovers(self):
+        grid = TaskGrid(32, 2)
+        clean = run_pvm(grid, 2)
+        plan = FaultPlan().crash("host2", at=0.05)
+        faulty = run_pvm(grid, 2, faults=plan, seed=7)
+        assert _image_hash(faulty) == _image_hash(clean)
