@@ -30,3 +30,24 @@ def show():
         print(text)
 
     return _show
+
+
+@pytest.fixture
+def measured(benchmark, show):
+    """Run a sweep exactly once under pytest-benchmark and display it.
+
+    Every figure benchmark shares the same shape — build the sweep
+    once (``rounds=1``: the interesting quantity is deterministic
+    simulated time, pytest-benchmark only records harness wall-clock),
+    render it for ``-s``, hand it to the assertions.  ``render`` maps
+    the sweep to the text to display; pass ``None`` for artifacts that
+    print their own tables.
+    """
+
+    def _measured(sweep_fn, render=lambda s: s.as_figure().render()):
+        sweep = benchmark.pedantic(sweep_fn, rounds=1, iterations=1)
+        if render is not None:
+            show(render(sweep))
+        return sweep
+
+    return _measured

@@ -33,9 +33,8 @@ def _sweep():
     )
 
 
-def test_fig12a_matmul_2x2(benchmark, show):
-    sweep = benchmark.pedantic(_sweep, rounds=1, iterations=1)
-    show(sweep.as_figure().render())
+def test_fig12a_matmul_2x2(measured, show):
+    sweep = measured(_sweep)
 
     xs = sweep.block_sizes
     msgr = sweep.series("messengers")

@@ -31,9 +31,8 @@ def _sweep():
     )
 
 
-def test_fig12b_matmul_3x3(benchmark, show):
-    sweep = benchmark.pedantic(_sweep, rounds=1, iterations=1)
-    show(sweep.as_figure().render())
+def test_fig12b_matmul_3x3(measured, show):
+    sweep = measured(_sweep)
 
     xs = sweep.block_sizes
     msgr = sweep.series("messengers")

@@ -9,8 +9,6 @@ Claims checked:
   count low; MESSENGERS overtakes as granularity grows.
 """
 
-from conftest import full_scale
-
 from repro.bench import (
     PAPER_GRIDS,
     PAPER_PROCESSOR_COUNTS,
@@ -29,9 +27,8 @@ def _sweep():
     )
 
 
-def test_fig4_mandelbrot_320(benchmark, show):
-    sweep = benchmark.pedantic(_sweep, rounds=1, iterations=1)
-    show(sweep.as_figure().render())
+def test_fig4_mandelbrot_320(measured):
+    sweep = measured(_sweep)
 
     seq = sweep.sequential_seconds
 

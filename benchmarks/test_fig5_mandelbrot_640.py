@@ -23,9 +23,8 @@ def _sweep():
     )
 
 
-def test_fig5_mandelbrot_640(benchmark, show):
-    sweep = benchmark.pedantic(_sweep, rounds=1, iterations=1)
-    show(sweep.as_figure().render())
+def test_fig5_mandelbrot_640(measured):
+    sweep = measured(_sweep)
 
     seq = sweep.sequential_seconds
 

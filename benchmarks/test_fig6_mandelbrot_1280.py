@@ -26,9 +26,8 @@ def _sweep():
     return run_figure(IMAGE, grids=grids, processor_counts=processor_counts)
 
 
-def test_fig6_mandelbrot_1280(benchmark, show):
-    sweep = benchmark.pedantic(_sweep, rounds=1, iterations=1)
-    show(sweep.as_figure().render())
+def test_fig6_mandelbrot_1280(measured):
+    sweep = measured(_sweep)
 
     seq = sweep.sequential_seconds
 

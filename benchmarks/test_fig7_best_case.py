@@ -20,8 +20,6 @@ What we reproduce (and how it differs — see EXPERIMENTS.md):
   exhibit.
 """
 
-from conftest import full_scale
-
 from repro.bench import best_case_comparison, format_table
 
 PROCS = (1, 2, 4, 8, 16, 32)
@@ -53,8 +51,8 @@ def _show_table(show, data, image):
     )
 
 
-def test_fig7_best_case(benchmark, show):
-    data = benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_fig7_best_case(measured, show):
+    data = measured(_run, render=None)
     _show_table(show, data, 1280)
     _show_table(show, data, 320)
 

@@ -23,9 +23,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ...des import Simulator
-from ...messengers import MessengersSystem, NativeRegistry
+from ...messengers import MessengersSystem
 from ...netsim import CostModel, DEFAULT_COSTS, build_lan
-from .kernel import Block, TaskGrid, block_flops, compute_block
+from .kernel import TaskGrid, block_flops, compute_block
 
 __all__ = ["MessengersMandelbrotResult", "MANAGER_WORKER_SCRIPT", "run_messengers"]
 

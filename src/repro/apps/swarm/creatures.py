@@ -20,7 +20,7 @@ import zlib
 from dataclasses import dataclass, field
 
 from ...des import Simulator
-from ...messengers import MessengersSystem, grid_node_name
+from ...messengers import MessengersSystem
 from ...netsim import CostModel, DEFAULT_COSTS, build_lan
 from .world import World
 

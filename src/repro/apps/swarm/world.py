@@ -16,7 +16,6 @@ the world is needed.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ...messengers import MessengersSystem, build_torus, grid_node_name
 

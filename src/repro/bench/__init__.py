@@ -23,6 +23,7 @@ from .matmul_experiments import (
     blocking_speedup_model,
     run_block_size_sweep,
 )
+from .perf_experiments import run_perf_report
 from .reporting import Figure, Series, ascii_chart, format_table
 from .resilience_experiments import (
     HEARTBEAT_MISS_SWEEP,
@@ -37,8 +38,16 @@ from .shapes import (
     assert_speedup_at_least,
     crossover_interval,
 )
+from .sweep import (
+    Experiment,
+    Replication,
+    run_replications,
+    seed_sweep_experiment,
+)
 
 __all__ = [
+    "Experiment",
+    "Replication",
     "FIG12A_CPU_SCALE",
     "FIG12B_CPU_SCALE",
     "Figure",
@@ -61,8 +70,12 @@ __all__ = [
     "blocking_speedup_model",
     "crossover_interval",
     "format_table",
+    "run_block_size_sweep",
     "run_detection_sweep",
     "run_figure",
     "run_loss_sweep",
+    "run_perf_report",
     "run_recovery_comparison",
+    "run_replications",
+    "seed_sweep_experiment",
 ]

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..apps.mandelbrot import TaskGrid, run_messengers, run_pvm
 from ..netsim import CostModel, DEFAULT_COSTS
 
 __all__ = ["PAPER_LOSS_RATES", "run_loss_sweep"]
@@ -33,45 +32,64 @@ def run_loss_sweep(
     loss_rates: Sequence[float] = PAPER_LOSS_RATES,
     seed: int = 7,
     costs: CostModel = DEFAULT_COSTS,
+    processes: int = 1,
 ) -> dict:
     """Figure-4 Mandelbrot at increasing packet-loss rates.
 
     Returns a JSON-ready dict: per system and loss rate, the simulated
     seconds, the slowdown over the fault-free run, the fault counters,
     and whether the image stayed bit-identical.
-    """
-    from ..faults import FaultPlan
 
-    grid = TaskGrid(image_size, grid_size)
-    runners = {"messengers": run_messengers, "pvm": run_pvm}
+    Every ``(system, loss_rate)`` cell is an independent simulator run,
+    so with ``processes > 1`` they fan out over a
+    :func:`repro.bench.sweep.run_replications` pool; the blob is
+    identical either way (image identity is checked through 128-bit
+    image digests, which the pool can ship between processes where
+    whole arrays would be wasteful).
+    """
+    from .sweep import (
+        Replication,
+        mandelbrot_loss_replication,
+        run_replications,
+    )
+
+    base = {
+        "image_size": image_size,
+        "grid_size": grid_size,
+        "procs": procs,
+        "seed": seed,
+        "costs": costs,
+    }
+    names = ("messengers", "pvm")
+    replications = [
+        Replication(rid=(name, rate),
+                    kwargs={**base, "system": name, "loss_rate": rate})
+        for name in names
+        # The fault-free baseline always runs (slowdown/identity are
+        # relative to it) even when 0.0 is not in the requested rates.
+        for rate in dict.fromkeys((0.0, *loss_rates))
+    ]
+    results = run_replications(
+        mandelbrot_loss_replication, replications, processes
+    )
     systems: dict = {}
-    for name, runner in runners.items():
-        baseline = runner(grid, procs, costs)
-        rows = []
-        for rate in loss_rates:
-            if rate == 0.0:
-                result, stats = baseline, {}
-            else:
-                result = runner(
-                    grid,
-                    procs,
-                    costs,
-                    faults=FaultPlan().drop(rate),
-                    seed=seed,
-                )
-                stats = result.stats["faults"]
-            rows.append(
-                {
-                    "loss_rate": rate,
-                    "seconds": result.seconds,
-                    "slowdown": result.seconds / baseline.seconds,
-                    "image_identical": bool(
-                        (result.image == baseline.image).all()
-                    ),
-                    "faults": dict(sorted(stats.items())),
-                }
-            )
-        systems[name] = rows
+    for name in names:
+        baseline = results[(name, 0.0)]
+        systems[name] = [
+            {
+                "loss_rate": rate,
+                "seconds": results[(name, rate)]["seconds"],
+                "slowdown": (
+                    results[(name, rate)]["seconds"] / baseline["seconds"]
+                ),
+                "image_identical": (
+                    results[(name, rate)]["image_blake2b"]
+                    == baseline["image_blake2b"]
+                ),
+                "faults": results[(name, rate)]["faults"],
+            }
+            for rate in loss_rates
+        ]
     return {
         "workload": {
             "image_size": image_size,

@@ -15,7 +15,7 @@ time.  ``scale`` lets tests and quick runs shrink the sweep.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..apps.mandelbrot import (
     TaskGrid,

@@ -29,6 +29,16 @@ Commands
     Mandelbrot workload with :class:`repro.resilience.ScheduleSearcher`
     and shrink any violation to a minimal reproducer.  Exits non-zero
     when a violation is found.
+``bench {perf,throughput,faults,resilience,sweep} [--parallel N]``
+    Run a benchmark suite and emit the JSON blob the committed
+    ``BENCH_*.json`` files are made of (stdout, or ``--out FILE``).
+    ``perf`` is the throughput report behind ``BENCH_perf.json``;
+    ``throughput`` is just its microbenchmarks; ``faults`` /
+    ``resilience`` regenerate the fault and resilience sweeps; and
+    ``sweep`` runs the seed-replication demo experiment.  ``--parallel
+    N`` fans independent replications out over an ``N``-process pool
+    (``faults`` and ``sweep``) — the output is identical to the serial
+    run by construction.
 ``selftest``
     Run the repository's test suite plus the observability, fault-path
     and resilience overhead guards (requires pytest).
@@ -327,6 +337,41 @@ def _cmd_search(args) -> int:
     return 0 if report["clean"] else 1
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from . import bench
+
+    if args.which == "perf":
+        blob = bench.run_perf_report(
+            scale=args.scale,
+            repeats=args.repeats,
+            figures=not args.no_figures,
+        )
+    elif args.which == "throughput":
+        from .perf import throughput_suite
+
+        blob = throughput_suite(scale=args.scale, repeats=args.repeats)
+    elif args.which == "faults":
+        blob = bench.run_loss_sweep(processes=args.parallel)
+    elif args.which == "resilience":
+        blob = {
+            "detection": bench.run_detection_sweep(),
+            "recovery": bench.run_recovery_comparison(),
+        }
+    else:  # sweep
+        blob = bench.seed_sweep_experiment().run(processes=args.parallel)
+    text = json.dumps(blob, indent=2, sort_keys=True)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_selftest(args) -> int:
     import subprocess
     from pathlib import Path
@@ -457,6 +502,27 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--json", action="store_true",
                         help="emit a machine-readable JSON report")
     search.set_defaults(func=_cmd_search)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark suites -> BENCH_*.json blobs",
+    )
+    bench.add_argument(
+        "which",
+        choices=["perf", "throughput", "faults", "resilience", "sweep"],
+    )
+    bench.add_argument("--parallel", type=int, default=1,
+                       help="replication pool size (faults/sweep; "
+                            "default 1 = serial)")
+    bench.add_argument("--scale", type=float, default=1.0,
+                       help="microbenchmark iteration scale (default 1.0)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="best-of repeats per probe (default 3)")
+    bench.add_argument("--no-figures", action="store_true",
+                       help="perf: skip the end-to-end figure sweeps")
+    bench.add_argument("--out", default=None,
+                       help="write the JSON blob here instead of stdout")
+    bench.set_defaults(func=_cmd_bench)
 
     selftest = sub.add_parser(
         "selftest",

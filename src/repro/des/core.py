@@ -12,12 +12,32 @@ MESSENGERS daemons, global virtual time — is built as processes and events
 on top of this module.  All "performance" numbers reported by benchmarks
 are values of the simulated clock, which makes every experiment
 deterministic and hardware-independent.
+
+Hot-path notes (the ``repro.perf`` fast path):
+
+* every event class uses ``__slots__`` — an event is allocated per
+  timeout, per store operation and per process turn, so the per-object
+  ``__dict__`` was the single largest allocation cost in the kernel;
+* :class:`Timeout` and the resource events initialise themselves inline
+  instead of chaining ``super().__init__`` + :meth:`Simulator.schedule`;
+* :meth:`Simulator.run` inlines the event loop (heap pop + callback
+  dispatch) and only falls back to :meth:`Simulator.step` while
+  instrumentation (metrics counter or trace hasher) is attached, so the
+  golden-trace path stays byte-for-byte identical to the historical one;
+* callback lists are append-only: waiters detach by *tombstoning* their
+  recorded slot to ``None`` (O(1)) instead of ``list.remove`` (O(n)),
+  which also keeps every other waiter's recorded index stable.
+
+None of this changes scheduling order: the heap still orders on
+``(time, priority, eid, daemon)`` with a monotonically increasing integer
+``eid``, so optimised runs replay the exact event sequence of the slow
+kernel — the golden-hash tests in ``tests/test_perf_determinism.py`` pin
+that bit-identity.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, Iterable, Optional
 
 from .errors import (
@@ -46,6 +66,19 @@ URGENT = 0
 #: Default scheduling priority.
 NORMAL = 1
 
+# Bound once: saves a module-dict + attribute lookup on every schedule/pop.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+_new_event = object.__new__
+
+#: Shared placeholder for "no waiters yet".  Freshly created events point
+#: their ``callbacks`` here instead of allocating an empty list each; the
+#: first waiter replaces it with a real single-element list.  The object
+#: is never mutated — every attach site must test for it by identity.
+#: Fire-and-forget timeouts (netsim busy-waits, app delays) thus never
+#: allocate a callback list at all.
+_NO_WAITERS: list = []
+
 
 class Event:
     """A one-shot occurrence on the simulation timeline.
@@ -54,11 +87,19 @@ class Event:
     with a value (via :meth:`succeed` or :meth:`fail`), and is *processed*
     once the simulator has invoked its callbacks.  Processes wait on an
     event by ``yield``-ing it.
+
+    ``callbacks`` entries may be ``None``: a waiter that detached early
+    (an interrupt, a fired AnyOf) tombstones its slot rather than
+    shifting the list, and dispatch skips the holes.
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = (
+            _NO_WAITERS
+        )
         self._value: Any = PENDING
         self._ok: Optional[bool] = None
         #: If a failed event's exception is never retrieved, the simulator
@@ -110,7 +151,11 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim.schedule(self)
+        sim = self.sim
+        eid = sim._eid
+        sim._eid = eid + 1
+        _heappush(sim._queue, (sim._now, NORMAL, eid, False, self))
+        sim._fg_pending += 1
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -125,7 +170,11 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        self.sim.schedule(self)
+        sim = self.sim
+        eid = sim._eid
+        sim._eid = eid + 1
+        _heappush(sim._queue, (sim._now, NORMAL, eid, False, self))
+        sim._fg_pending += 1
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -162,6 +211,8 @@ class Timeout(Event):
     use them so they can run forever without preventing quiescence.
     """
 
+    __slots__ = ("delay", "daemon")
+
     def __init__(
         self,
         sim: "Simulator",
@@ -171,12 +222,21 @@ class Timeout(Event):
     ):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(sim)
+        # Inline Event.__init__ + Simulator.schedule: a timeout is born
+        # triggered, so the generic pending-state machinery is bypassed.
+        # ``_defused`` is deliberately not set: it is only ever read
+        # behind a failed-event check, and a timeout never fails.
+        self.sim = sim
+        self.callbacks = _NO_WAITERS
+        self._value = value
+        self._ok = True
         self.delay = delay
         self.daemon = daemon
-        self._ok = True
-        self._value = value
-        sim.schedule(self, delay=delay, daemon=daemon)
+        eid = sim._eid
+        sim._eid = eid + 1
+        _heappush(sim._queue, (sim._now + delay, NORMAL, eid, daemon, self))
+        if not daemon:
+            sim._fg_pending += 1
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
@@ -187,13 +247,26 @@ class Condition(Event):
 
     The value of a condition is a dict mapping each *triggered* sub-event
     to its value, in triggering order.
+
+    Subscriptions record ``(event, slot_index)`` so that once the
+    condition fires, every still-pending subscription is detached in
+    O(1) per sub-event by tombstoning its slot — long-lived events
+    (a retransmitter's ack, say) no longer accumulate dead checker
+    callbacks round after round.
     """
 
+    __slots__ = ("_evaluate", "_events", "_count", "_check_cb", "_subs")
+
     def __init__(self, sim: "Simulator", evaluate, events: Iterable[Event]):
-        super().__init__(sim)
+        self.sim = sim
+        self.callbacks = _NO_WAITERS
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self._evaluate = evaluate
         self._events = list(events)
         self._count = 0
+        self._subs: tuple | list = []
 
         for event in self._events:
             if event.sim is not sim:
@@ -202,28 +275,51 @@ class Condition(Event):
         if not self._events:
             self.succeed(self._collect_values())
             return
+        # One bound method for the condition's lifetime: subscription
+        # slots are compared by identity when detaching.
+        check = self._check
+        self._check_cb = check
         for event in self._events:
-            if event.callbacks is None:
-                self._check(event)
-            else:
-                event.callbacks.append(self._check)
+            cbs = event.callbacks
+            if cbs is None:
+                check(event)
+            elif self._value is PENDING:
+                if cbs is _NO_WAITERS:
+                    event.callbacks = [check]
+                    self._subs.append((event, 0))
+                else:
+                    self._subs.append((event, len(cbs)))
+                    cbs.append(check)
 
     def _collect_values(self) -> dict:
         return {e: e._value for e in self._events if e.triggered}
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
         self._count += 1
         if not event._ok:
-            event.defuse()
+            event._defused = True
             self.fail(event._value)
+            self._detach()
         elif self._evaluate(self._events, self._count):
             self.succeed(self._collect_values())
+            self._detach()
+
+    def _detach(self) -> None:
+        """Tombstone every still-pending subscription (O(1) each)."""
+        check = self._check_cb
+        for event, idx in self._subs:
+            cbs = event.callbacks
+            if cbs is not None and idx < len(cbs) and cbs[idx] is check:
+                cbs[idx] = None
+        self._subs = ()
 
 
 class AnyOf(Condition):
     """Fires when any one of the sub-events fires."""
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim, lambda events, count: count >= 1, events)
@@ -231,6 +327,8 @@ class AnyOf(Condition):
 
 class AllOf(Condition):
     """Fires when all of the sub-events have fired."""
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(
@@ -256,10 +354,21 @@ class Simulator:
     def __init__(self):
         self._now: float = 0.0
         self._queue: list = []
-        self._eid = itertools.count()
+        #: Monotone tie-break for same-(time, priority) events; plain int
+        #: increments are ~3× faster than an itertools.count round-trip.
+        self._eid: int = 0
         self._active_process = None
         self._metrics = None
         self._metrics_events = None
+        #: The metrics registry iff it is present *and* enabled, else
+        #: None (kept in sync by the ``metrics`` setter).  Instrumented
+        #: layers read this instead of :attr:`metrics`, so the disabled
+        #: path costs exactly one attribute load and ``is None`` test —
+        #: no property call, no tuple building, no ``enabled`` re-check.
+        self.obs = None
+        #: Optional :class:`repro.perf.TraceHasher`; when set, every
+        #: executed event is folded into a digest (golden-trace tests).
+        self.trace_hash = None
         #: Queued events that are *not* background (daemon) events; the
         #: run loop drains when this reaches zero, exactly as it used to
         #: drain when the whole queue emptied.
@@ -289,12 +398,12 @@ class Simulator:
     @metrics.setter
     def metrics(self, registry) -> None:
         self._metrics = registry
+        enabled = registry is not None and registry.enabled
+        self.obs = registry if enabled else None
         # The event-loop counter is resolved once here so step() pays a
         # single attribute test per event, not a registry lookup.
         self._metrics_events = (
-            registry.counter("des.events_executed")
-            if registry is not None and registry.enabled
-            else None
+            registry.counter("des.events_executed") if enabled else None
         )
 
     @property
@@ -306,7 +415,14 @@ class Simulator:
 
     def event(self) -> Event:
         """Create a new pending :class:`Event`."""
-        return Event(self)
+        # Inline of ``Event(self)``, skipping the ``__init__`` frame.
+        event = _new_event(Event)
+        event.sim = self
+        event.callbacks = _NO_WAITERS
+        event._value = PENDING
+        event._ok = None
+        event._defused = False
+        return event
 
     def timeout(
         self, delay: float, value: Any = None, daemon: bool = False
@@ -316,7 +432,25 @@ class Simulator:
         ``daemon=True`` makes it a background timeout that never keeps
         the simulation alive (see :class:`Timeout`).
         """
-        return Timeout(self, delay, value, daemon=daemon)
+        # Hottest allocation site in the kernel: build the Timeout here
+        # without a second __init__ frame (mirrors Timeout.__init__).
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        timeout = _new_event(Timeout)
+        timeout.sim = self
+        timeout.callbacks = _NO_WAITERS
+        timeout._value = value
+        timeout._ok = True
+        timeout.delay = delay
+        timeout.daemon = daemon
+        eid = self._eid
+        self._eid = eid + 1
+        _heappush(
+            self._queue, (self._now + delay, NORMAL, eid, daemon, timeout)
+        )
+        if not daemon:
+            self._fg_pending += 1
+        return timeout
 
     def process(self, generator, daemon: bool = False) -> "Process":
         """Start a new process running ``generator``.
@@ -325,9 +459,7 @@ class Simulator:
         forever (a transmit pump, a delivery daemon, ...): such processes
         do not count as deadlocked when the event queue drains.
         """
-        from .process import Process
-
-        return Process(self, generator, daemon=daemon)
+        return _Process(self, generator, daemon=daemon)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Event that fires when any of ``events`` fires."""
@@ -351,9 +483,10 @@ class Simulator:
         ``daemon=True`` schedules a background event that does not keep
         :meth:`run` alive once all foreground events have drained.
         """
-        heapq.heappush(
-            self._queue,
-            (self._now + delay, priority, next(self._eid), daemon, event),
+        eid = self._eid
+        self._eid = eid + 1
+        _heappush(
+            self._queue, (self._now + delay, priority, eid, daemon, event)
         )
         if not daemon:
             self._fg_pending += 1
@@ -367,16 +500,21 @@ class Simulator:
 
         Raises :class:`IndexError` ("empty schedule") if nothing is queued.
         """
-        time, _prio, _eid, daemon, event = heapq.heappop(self._queue)
+        time, _prio, _eid, daemon, event = _heappop(self._queue)
         self._now = time
         if not daemon:
             self._fg_pending -= 1
         if self._metrics_events is not None:
             self._metrics_events.value += 1
+        if self.trace_hash is not None:
+            self.trace_hash.record(
+                time, _prio, _eid, daemon, type(event).__name__
+            )
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
-            callback(event)
+            if callback is not None:
+                callback(event)
 
         if not event._ok and not event._defused:
             exc = event._value
@@ -412,7 +550,10 @@ class Simulator:
                     if stop_event._ok:
                         return stop_event._value
                     raise stop_event._value
-                stop_event.callbacks.append(self._stop_callback)
+                if stop_event.callbacks is _NO_WAITERS:
+                    stop_event.callbacks = [self._stop_callback]
+                else:
+                    stop_event.callbacks.append(self._stop_callback)
             else:
                 deadline = float(until)
                 if deadline < self._now:
@@ -422,16 +563,54 @@ class Simulator:
                 stop_event = Event(self)
                 stop_event._ok = True
                 stop_event._value = None
-                stop_event.callbacks.append(self._stop_callback)
-                heapq.heappush(
-                    self._queue,
-                    (deadline, URGENT, next(self._eid), False, stop_event),
+                stop_event.callbacks = [self._stop_callback]
+                eid = self._eid
+                self._eid = eid + 1
+                _heappush(
+                    self._queue, (deadline, URGENT, eid, False, stop_event)
                 )
                 self._fg_pending += 1
 
+        queue = self._queue
+        pop = _heappop
+        length = len
+        # Instrumentation (metrics counter / trace hasher) is attached
+        # before run() is entered; the check is hoisted out of the loop
+        # and re-evaluated on every run() call, and the instrumented
+        # path routes through step() so counter and hasher observe every
+        # event exactly as the historical kernel did.
+        instrumented = (
+            self._metrics_events is not None or self.trace_hash is not None
+        )
+        # ``_fg_pending > 0`` implies a non-empty queue (every foreground
+        # push increments it, every foreground pop decrements it), so the
+        # loop conditions below need not also test ``queue``.
         try:
-            while self._queue and self._fg_pending > 0:
-                self.step()
+            if instrumented:
+                while self._fg_pending > 0:
+                    self.step()
+            else:
+                # Inlined event loop — semantically identical to
+                # ``while fg: self.step()``.
+                while self._fg_pending > 0:
+                    time, _prio, _eid, daemon, event = pop(queue)
+                    self._now = time
+                    if not daemon:
+                        self._fg_pending -= 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if length(callbacks) == 1:
+                        # The overwhelmingly common case: exactly one
+                        # waiter (a parked process).
+                        callback = callbacks[0]
+                        if callback is not None:
+                            callback(event)
+                    else:
+                        for callback in callbacks:
+                            if callback is not None:
+                                callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
         except StopSimulation as stop:
             if isinstance(until, Event):
                 if until._ok:
@@ -488,3 +667,10 @@ def _describe_wait(process) -> str:
     if kind == "Process":
         return f"process {target.name!r}"
     return _WAIT_LABELS.get(kind, kind)
+
+
+# Resolved once at import time (the module cycle with .process is safe
+# here: everything .process needs from this module is defined above).
+# ``Simulator.process`` used to import it per call, which was a
+# measurable cost when layers spawn processes by the thousand.
+from .process import Process as _Process  # noqa: E402

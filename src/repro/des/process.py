@@ -4,6 +4,13 @@ A process wraps a Python generator.  The generator ``yield``\\ s
 :class:`~repro.des.core.Event` objects; the process resumes when the event
 fires, receiving the event's value as the result of the ``yield``
 expression (or having the event's exception thrown into it).
+
+Hot-path notes: a process parks on an event by appending one *cached*
+bound method (``_resume_cb``) to the event's callback list and recording
+the slot index, so an interrupt can detach it in O(1) by tombstoning the
+slot instead of ``list.remove``.  ``Process`` and ``Initialize`` use
+``__slots__`` and inline ``Event.__init__`` — one of each is allocated
+per process, and the messenger layers spawn processes by the thousand.
 """
 
 from __future__ import annotations
@@ -11,7 +18,15 @@ from __future__ import annotations
 from types import GeneratorType
 from typing import Any, Optional
 
-from .core import Event, NORMAL, URGENT
+from .core import (
+    Event,
+    NORMAL,
+    PENDING,
+    URGENT,
+    _NO_WAITERS,
+    _heappush,
+    _new_event,
+)
 from .errors import Interrupt, ProcessDead, SimulationError
 
 __all__ = ["Process", "Initialize"]
@@ -20,12 +35,19 @@ __all__ = ["Process", "Initialize"]
 class Initialize(Event):
     """Internal event that kicks off a newly created process."""
 
+    __slots__ = ()
+
     def __init__(self, sim, process: "Process"):
-        super().__init__(sim)
-        self._ok = True
+        self.sim = sim
         self._value = None
-        self.callbacks = [process._resume]
-        sim.schedule(self, priority=URGENT)
+        self._ok = True
+        self._defused = False
+        self.callbacks = [process._resume_cb]
+        # Inline of ``sim.schedule(self, priority=URGENT)``.
+        eid = sim._eid
+        sim._eid = eid + 1
+        _heappush(sim._queue, (sim._now, URGENT, eid, False, self))
+        sim._fg_pending += 1
 
 
 class Process(Event):
@@ -34,18 +56,52 @@ class Process(Event):
     process can wait for another simply by yielding it.
     """
 
+    __slots__ = (
+        "_generator",
+        "daemon",
+        "_target",
+        "_resume_cb",
+        "_park_idx",
+        "_send",
+    )
+
     def __init__(self, sim, generator, daemon: bool = False):
         if not isinstance(generator, GeneratorType):
             raise TypeError(
                 f"process() needs a generator, got {generator!r}; "
                 "did you forget to call the generator function?"
             )
-        super().__init__(sim)
+        self.sim = sim
+        self.callbacks = _NO_WAITERS
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self._generator = generator
+        # ``send`` is cached because it runs once per resume; ``throw``
+        # is looked up lazily in the (rare) failure branch.
+        self._send = generator.send
         #: Daemon processes (service loops) may wait forever without
         #: tripping the simulator's drain-time deadlock check.
         self.daemon = daemon
-        self._target: Optional[Event] = Initialize(sim, self)
+        #: One bound method for the process's lifetime; parked slots are
+        #: compared against it by identity when detaching.
+        resume_cb = self._resume
+        self._resume_cb = resume_cb
+        self._park_idx = -1
+        # Inline of ``Initialize(sim, self)``: one Initialize event is
+        # built per spawn, so the class-call + ``__init__`` frames were
+        # measurable when layers spawn processes by the thousand.
+        init = _new_event(Initialize)
+        init.sim = sim
+        init._value = None
+        init._ok = True
+        init._defused = False
+        init.callbacks = [resume_cb]
+        eid = sim._eid
+        sim._eid = eid + 1
+        _heappush(sim._queue, (sim._now, URGENT, eid, False, init))
+        sim._fg_pending += 1
+        self._target: Optional[Event] = init
         sim._live_processes.add(self)
 
     @property
@@ -56,7 +112,7 @@ class Process(Event):
     @property
     def is_alive(self) -> bool:
         """True while the generator has not finished."""
-        return not self.triggered
+        return self._value is PENDING
 
     @property
     def name(self) -> str:
@@ -69,7 +125,7 @@ class Process(Event):
         whatever the process was waiting for.  Interrupting a finished
         process raises :class:`ProcessDead`.
         """
-        if self.triggered:
+        if self._value is not PENDING:
             raise ProcessDead(f"{self!r} has terminated; cannot interrupt")
         if self.sim.active_process is self:
             raise SimulationError("a process cannot interrupt itself")
@@ -84,43 +140,72 @@ class Process(Event):
     # -- internal ------------------------------------------------------------
 
     def _resume_interrupt(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return  # process died before interrupt delivery; drop it
-        # Detach from whatever we were waiting on.
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        # Detach from whatever we were waiting on: tombstone the parked
+        # slot (O(1)) — indices stay valid because callback lists are
+        # append-only.
+        target = self._target
+        if target is not None:
+            cbs = target.callbacks
+            idx = self._park_idx
+            if (
+                cbs is not None
+                and 0 <= idx < len(cbs)
+                and cbs[idx] is self._resume_cb
+            ):
+                cbs[idx] = None
         self._target = None
         self._resume(event)
 
     def _resume(self, event: Event) -> None:
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
+        send = self._send
         try:
             while True:
                 try:
-                    if event is None or event._ok:
-                        next_target = self._generator.send(
-                            None if event is None else event._value
-                        )
+                    if event is None:
+                        next_target = send(None)
+                    elif event._ok:
+                        next_target = send(event._value)
                     else:
-                        event.defuse()
+                        event._defused = True
                         next_target = self._generator.throw(event._value)
                 except StopIteration as stop:
                     self._target = None
-                    self.sim._live_processes.discard(self)
-                    self.succeed(stop.value)
+                    # Break the ``self → _resume_cb → self`` cycle so the
+                    # finished process dies by refcount, not gc.
+                    self._resume_cb = None
+                    self._send = None
+                    sim._live_processes.discard(self)
+                    # Inline of ``self.succeed(stop.value)``.
+                    if self._value is not PENDING:
+                        self.succeed(stop.value)  # raises AlreadyTriggered
+                    self._ok = True
+                    self._value = stop.value
+                    eid = sim._eid
+                    sim._eid = eid + 1
+                    _heappush(
+                        sim._queue, (sim._now, NORMAL, eid, False, self)
+                    )
+                    sim._fg_pending += 1
                     return
                 except BaseException as error:
                     self._target = None
-                    self.sim._live_processes.discard(self)
+                    self._resume_cb = None
+                    self._send = None
+                    sim._live_processes.discard(self)
                     self.fail(error)
                     return
 
-                if not isinstance(next_target, Event):
+                try:
+                    # Only Event exposes .callbacks; reading it doubles
+                    # as the (hot) yielded-an-event type check.
+                    cbs = next_target.callbacks
+                except AttributeError:
                     # Tell the generator it misbehaved; let it clean up.
-                    event = Event(self.sim)
+                    event = Event(sim)
                     event._ok = False
                     event._value = SimulationError(
                         f"process {self.name!r} yielded a non-event: "
@@ -128,15 +213,22 @@ class Process(Event):
                     )
                     continue
 
-                if next_target.callbacks is not None:
-                    # Not yet processed: park until it fires.
-                    next_target.callbacks.append(self._resume)
+                if cbs is not None:
+                    # Not yet processed: park until it fires.  A fresh
+                    # event still carries the shared no-waiters marker;
+                    # build its real (single-element) list directly.
+                    if cbs is _NO_WAITERS:
+                        next_target.callbacks = [self._resume_cb]
+                        self._park_idx = 0
+                    else:
+                        self._park_idx = len(cbs) if cbs else 0
+                        cbs.append(self._resume_cb)
                     self._target = next_target
                     return
                 # Already processed: loop and deliver immediately.
                 event = next_target
         finally:
-            self.sim._active_process = None
+            sim._active_process = None
 
     def __repr__(self) -> str:
         return f"<Process {self.name!r} at {id(self):#x}>"

@@ -15,7 +15,7 @@ import heapq
 from collections import deque
 from typing import Any, Callable, Optional
 
-from .core import Event, Simulator
+from .core import Event, PENDING, Simulator, _NO_WAITERS
 from .errors import SimulationError
 
 __all__ = ["Resource", "Store", "PriorityStore", "FilterStore"]
@@ -24,8 +24,14 @@ __all__ = ["Resource", "Store", "PriorityStore", "FilterStore"]
 class _Request(Event):
     """Pending acquisition of a resource slot."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.sim)
+        self.sim = resource.sim
+        self.callbacks = _NO_WAITERS
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self.resource = resource
         resource._do_request(self)
 
@@ -99,23 +105,41 @@ class Resource:
 
 
 class _Get(Event):
+    __slots__ = ()
+
     def __init__(self, store: "Store"):
-        super().__init__(store.sim)
+        self.sim = store.sim
+        self.callbacks = _NO_WAITERS
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         store._getters.append(self)
         store._dispatch()
 
 
 class _FilterGet(Event):
+    __slots__ = ("predicate",)
+
     def __init__(self, store: "FilterStore", predicate):
-        super().__init__(store.sim)
+        self.sim = store.sim
+        self.callbacks = _NO_WAITERS
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self.predicate = predicate
         store._getters.append(self)
         store._dispatch()
 
 
 class _Put(Event):
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any):
-        super().__init__(store.sim)
+        self.sim = store.sim
+        self.callbacks = _NO_WAITERS
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self.item = item
         store._putters.append(self)
         store._dispatch()

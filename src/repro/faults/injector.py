@@ -71,12 +71,12 @@ class FaultInjector:
     def count(self, name: str, n: int = 1) -> None:
         """Bump fault counter ``name`` (dict always, metrics if present)."""
         self.counts[name] = self.counts.get(name, 0) + n
-        metrics = self.sim.metrics
+        metrics = self.sim.obs
         if metrics is not None:
             metrics.count(f"faults.{name}", n)
 
     def _instant(self, name: str, args=None) -> None:
-        metrics = self.sim.metrics
+        metrics = self.sim.obs
         if metrics is not None:
             metrics.instant(TRACK, name, self.sim.now, args)
 

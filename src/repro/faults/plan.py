@@ -27,7 +27,7 @@ The builder methods all return ``self`` so plans read fluently::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 __all__ = ["FaultEvent", "FaultPlan", "FaultPlanError", "RetransmitPolicy"]

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
 __all__ = ["Event", "LpSpec", "RunStats", "VirtualTimeKernelError"]
 

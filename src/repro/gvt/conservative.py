@@ -96,7 +96,7 @@ class ConservativeKernel:
         return self.stats
 
     def _driver(self, until_vt: float):
-        metrics = self.sim.metrics
+        metrics = self.sim.obs
         while self._queue:
             # Synchronization round to agree on the global minimum.
             round_start = self.sim.now

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import copy
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from ..des import Simulator, Store
@@ -175,7 +175,7 @@ class TimeWarpKernel:
             return
         lp.dead = True
         self.stats.lps_killed += 1
-        metrics = self.sim.metrics
+        metrics = self.sim.obs
         if metrics is not None:
             metrics.count("gvt.lps_killed")
             metrics.instant(
@@ -235,7 +235,7 @@ class TimeWarpKernel:
             # Mail for a crashed LP — positive or anti — is an orphan;
             # the kernel already cancelled everything the LP owed.
             self.stats.orphans_cancelled += 1
-            metrics = self.sim.metrics
+            metrics = self.sim.obs
             if metrics is not None:
                 metrics.count("gvt.orphans_cancelled")
         else:
@@ -247,7 +247,7 @@ class TimeWarpKernel:
         """Classify an arrival: anti, straggler, or plain pending."""
         if event.anti:
             self.stats.anti_messages += 1
-            metrics = self.sim.metrics
+            metrics = self.sim.obs
             if metrics is not None:
                 metrics.count("gvt.anti_messages")
             self._annihilate(lp, event)
@@ -279,7 +279,7 @@ class TimeWarpKernel:
     def _rollback(self, lp: _Lp, to_key: tuple, drop_uid: Optional[int] = None):
         """Undo all processed events ordered at or after ``to_key``."""
         self.stats.rollbacks += 1
-        metrics = self.sim.metrics
+        metrics = self.sim.obs
         if metrics is not None:
             metrics.count("gvt.rollbacks")
             metrics.instant(
@@ -335,7 +335,7 @@ class TimeWarpKernel:
             # across a simulation yield.
             if per_event_charge > 0:
                 yield self.sim.timeout(per_event_charge)
-                metrics = self.sim.metrics
+                metrics = self.sim.obs
                 if metrics is not None:
                     metrics.charge("gvt", state_save_charge)
                     metrics.charge("compute", spec.cost_s)
@@ -347,7 +347,7 @@ class TimeWarpKernel:
             snapshot = copy.deepcopy(spec.state)
             outputs = spec.handler(spec.state, event) or []
             self.stats.events_processed += 1
-            metrics = self.sim.metrics
+            metrics = self.sim.obs
             if metrics is not None:
                 metrics.count("gvt.events_processed")
             for produced in outputs:
@@ -386,7 +386,7 @@ class TimeWarpKernel:
             if new_gvt > self.gvt:
                 self.gvt = new_gvt
                 self.stats.gvt_advances += 1
-                metrics = self.sim.metrics
+                metrics = self.sim.obs
                 if metrics is not None:
                     metrics.count("gvt.advances")
                     metrics.gauge("gvt.value").set(self.gvt)
@@ -407,6 +407,6 @@ class TimeWarpKernel:
             collected += len(lp.processed) - len(keep)
             lp.processed = keep
         if collected:
-            metrics = self.sim.metrics
+            metrics = self.sim.obs
             if metrics is not None:
                 metrics.count("gvt.fossil_collected", collected)

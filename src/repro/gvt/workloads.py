@@ -20,7 +20,6 @@ state equivalence between engines exactly checkable.
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from .base import Event, LpSpec
 

@@ -22,12 +22,12 @@ migrate as-is (§2.1's zero-copy argument against message passing).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..des import Store
 from ..netsim import Host, Packet
-from .logical import LogicalNode, VIRTUAL
+from .logical import LogicalNode
 from .mcl.bytecode import (
     CreateCommand,
     DeleteCommand,
@@ -35,7 +35,7 @@ from .mcl.bytecode import (
     HopCommand,
     SchedCommand,
 )
-from .mcl.vm import MclRuntimeError, run as vm_run
+from .mcl.vm import run as vm_run
 from .messenger import Messenger
 from .natives import NativeEnv
 
@@ -98,7 +98,7 @@ class Daemon:
         while True:
             packet = yield port.get()
             kind, data = packet.payload
-            metrics = self.sim.metrics
+            metrics = self.sim.obs
             if kind == "messenger":
                 messenger = data
                 yield self.sim.process(
@@ -173,7 +173,7 @@ class Daemon:
         costs = self.system.costs
         env = NativeEnv(self.system, self, messenger)
         native_calls = 0
-        metrics = self.sim.metrics
+        metrics = self.sim.obs
         opcounts = (
             {}
             if metrics is not None and metrics.opcode_counts
@@ -351,7 +351,7 @@ class Daemon:
             yield self.sim.process(
                 self.host.busy(local_cost, category=None, label="hop.local")
             )
-        metrics = self.sim.metrics
+        metrics = self.sim.obs
         if metrics is not None:
             metrics.count("messengers.hops", n_local + n_remote)
             if n_local:
@@ -448,7 +448,7 @@ class Daemon:
                     local_cost, category=None, label="create.local"
                 )
             )
-        metrics = self.sim.metrics
+        metrics = self.sim.obs
         if metrics is not None:
             metrics.charge("dispatch", dispatch_cost)
             metrics.charge("copies", copy_cost)

@@ -18,7 +18,7 @@ Naming conventions follow §2.1:
 from __future__ import annotations
 
 import itertools
-from typing import Any, Iterable, Optional
+from typing import Any, Optional
 
 __all__ = [
     "ANY",

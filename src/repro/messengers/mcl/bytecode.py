@@ -203,6 +203,9 @@ class Program:
         self.node_vars = frozenset(node_vars)
         self.instructions = list(instructions)
         self.source = source
+        #: Precomputed ``(int_opcode, arg)`` dispatch table, built lazily
+        #: by the VM on first execution (the VM owns the opcode mapping).
+        self._dispatch: Optional[list] = None
         for instr in self.instructions:
             if instr.op not in OPCODES:
                 raise ValueError(f"bad opcode {instr.op!r}")

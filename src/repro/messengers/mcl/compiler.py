@@ -5,11 +5,24 @@ flow.  The two virtual-time library functions of §2.2
 (``M_sched_time_abs`` / ``M_sched_time_dlt``) compile to the dedicated
 ``SCHED`` instruction because they must suspend the interpreter, unlike
 ordinary native calls which execute atomically.
+
+Two fast-path services live here as well:
+
+* **program cache** — :func:`compile_source`/:func:`compile_all` are
+  memoised on the SHA-256 of the source text (plus function name), so
+  repeated experiment replications over the same scripts parse and
+  compile exactly once per process and share one VM dispatch table;
+* **constant folding** — constant subexpressions (``2 * 3 + 1``,
+  ``-5``, ``!0``) are evaluated at compile time with the VM's own
+  operator semantics and emitted as a single ``CONST``.  Expressions
+  whose folding would raise (e.g. ``1 / 0``) are emitted unfolded so
+  the error still happens at run time, exactly as before.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import hashlib
+from typing import Optional
 
 from . import ast
 from .bytecode import (
@@ -23,6 +36,7 @@ from .bytecode import (
     WILD,
 )
 from .parser import parse
+from .vm import MclRuntimeError, _binop, _truthy
 
 __all__ = ["CompileError", "compile_function", "compile_source"]
 
@@ -36,21 +50,47 @@ class CompileError(SyntaxError):
     """Semantically invalid MCL (e.g. ``break`` outside a loop)."""
 
 
+#: Sentinel for "not a compile-time constant" during folding.
+_NOT_CONST = object()
+
+
+#: Compiled-program cache keyed by (sha256(source), function name).
+#: Programs are immutable once compiled, so sharing them across callers
+#: (and whole experiment sweeps) is safe; the cache is unbounded because
+#: a process only ever sees a handful of distinct scripts.
+_program_cache: dict = {}
+
+
+def _source_key(source: str, name: Optional[str]) -> tuple:
+    return (hashlib.sha256(source.encode()).hexdigest(), name)
+
+
 def compile_source(
     source: str, name: Optional[str] = None
 ) -> Program:
-    """Parse and compile one function from MCL source text."""
-    function = parse(source).function(name)
-    return compile_function(function, source=source)
+    """Parse and compile one function from MCL source text (memoised)."""
+    key = _source_key(source, name)
+    program = _program_cache.get(key)
+    if program is None:
+        function = parse(source).function(name)
+        program = compile_function(function, source=source)
+        _program_cache[key] = program
+    return program
 
 
 def compile_all(source: str) -> dict:
-    """Compile every function in a script; returns name → Program."""
-    script = parse(source)
-    return {
-        name: compile_function(fn, source=source)
-        for name, fn in script.functions.items()
-    }
+    """Compile every function in a script; returns name → Program
+    (memoised like :func:`compile_source`)."""
+    key = _source_key(source, "*all*")
+    programs = _program_cache.get(key)
+    if programs is None:
+        script = parse(source)
+        programs = {
+            name: compile_function(fn, source=source)
+            for name, fn in script.functions.items()
+        }
+        _program_cache[key] = programs
+    return programs
 
 
 def compile_function(
@@ -295,7 +335,48 @@ class _Compiler:
             self.expression(arg)
         self.emit("CALL", (node.name, len(node.args)))
 
+    # -- constant folding ---------------------------------------------------
+
+    def _const_eval(self, node):
+        """Value of a constant subexpression, or ``_NOT_CONST``.
+
+        Uses the VM's own operator semantics (``_binop``/``_truthy``) so
+        a folded expression is bit-identical to its interpreted form.
+        Anything whose evaluation raises (``1/0``) is left unfolded so
+        the failure still happens at run time.
+        """
+        if isinstance(node, (ast.Num, ast.Str)):
+            return node.value
+        if isinstance(node, ast.UnOp):
+            value = self._const_eval(node.operand)
+            if value is _NOT_CONST:
+                return _NOT_CONST
+            if node.op == "-":
+                try:
+                    return -value
+                except TypeError:
+                    return _NOT_CONST
+            if node.op == "!":
+                return 0 if _truthy(value) else 1
+            return _NOT_CONST
+        if isinstance(node, ast.BinOp) and node.op not in ("&&", "||"):
+            left = self._const_eval(node.left)
+            if left is _NOT_CONST:
+                return _NOT_CONST
+            right = self._const_eval(node.right)
+            if right is _NOT_CONST:
+                return _NOT_CONST
+            try:
+                return _binop(node.op, left, right)
+            except MclRuntimeError:
+                return _NOT_CONST
+        return _NOT_CONST
+
     def _expr_binop(self, node: ast.BinOp) -> None:
+        folded = self._const_eval(node)
+        if folded is not _NOT_CONST:
+            self.emit("CONST", folded)
+            return
         if node.op in ("&&", "||"):
             # Short-circuit evaluation, C style.
             self.expression(node.left)
@@ -320,5 +401,9 @@ class _Compiler:
         self.emit("BINOP", node.op)
 
     def _expr_unop(self, node: ast.UnOp) -> None:
+        folded = self._const_eval(node)
+        if folded is not _NOT_CONST:
+            self.emit("CONST", folded)
+            return
         self.expression(node.operand)
         self.emit("UNOP", node.op)

@@ -10,11 +10,26 @@ critical sections be written as plain statement sequences.
 
 Frames are cheaply cloneable; cloning is how ``hop`` over multiple links
 and ``create(ALL)`` replicate an in-flight computation (§2.1).
+
+Two dispatch paths execute the same bytecode:
+
+* the **fast path** (default) first resolves a program's instructions to
+  a precomputed table of ``(int_opcode, arg)`` pairs — LOAD/STORE are
+  split by scope at build time (messenger- vs node-variable membership
+  is static per program), BINOP/UNOP are specialised per operator — and
+  then interprets with ``pc``/``stack`` held in loop locals;
+* the **counting path** runs whenever per-opcode counts are requested
+  (``opcounts`` is not None): it is the original string-keyed loop,
+  kept verbatim both as the diagnostic instrumentation path and as the
+  reference implementation the determinism tests compare against.
+
+Both paths execute identical instruction sequences and charge identical
+``instructions`` counts, so simulated interpretation time — and with it
+every figure in the paper reproduction — is bit-identical either way.
 """
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -29,7 +44,6 @@ from .bytecode import (
     Program,
     SchedCommand,
     UNNAMED_KIND,
-    WILD,
 )
 
 __all__ = ["Frame", "MclRuntimeError", "run"]
@@ -39,7 +53,7 @@ class MclRuntimeError(RuntimeError):
     """An error raised while interpreting a Messenger script."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """Execution state of one Messenger: program counter + operand stack.
 
@@ -129,6 +143,113 @@ def _nav_name(value: Any) -> str:
     return str(value)
 
 
+# -- fast dispatch table -----------------------------------------------------
+#
+# Integer opcodes for the precomputed per-program dispatch table.  The
+# split LOAD/STORE variants bake the (static) scope decision into the
+# table; the BINOP variants bake the operator in.
+
+_OP_CONST = 0
+_OP_LOAD_M = 1  # messenger-scoped variable
+_OP_LOAD_N = 2  # node-scoped variable
+_OP_STORE_M = 3
+_OP_STORE_N = 4
+_OP_ADD = 5
+_OP_SUB = 6
+_OP_MUL = 7
+_OP_DIV = 8
+_OP_MOD = 9
+_OP_EQ = 10
+_OP_NE = 11
+_OP_LT = 12
+_OP_GT = 13
+_OP_LE = 14
+_OP_GE = 15
+_OP_INDEX = 16  # BINOP "[]"
+_OP_JMP = 17
+_OP_JF = 18
+_OP_POP = 19
+_OP_CALL = 20
+_OP_NEG = 21
+_OP_NOT = 22
+_OP_LOADNET = 23
+_OP_STORE_INDEX = 24
+_OP_RET_NONE = 25
+_OP_RET_VALUE = 26
+_OP_SCHED = 27
+_OP_HOP = 28
+_OP_DELETE = 29
+_OP_CREATE = 30
+
+_BINOP_CODES = {
+    "+": _OP_ADD,
+    "-": _OP_SUB,
+    "*": _OP_MUL,
+    "/": _OP_DIV,
+    "%": _OP_MOD,
+    "==": _OP_EQ,
+    "!=": _OP_NE,
+    "<": _OP_LT,
+    ">": _OP_GT,
+    "<=": _OP_LE,
+    ">=": _OP_GE,
+    "[]": _OP_INDEX,
+}
+
+_SIMPLE_CODES = {
+    "CONST": _OP_CONST,
+    "LOADNET": _OP_LOADNET,
+    "STORE_INDEX": _OP_STORE_INDEX,
+    "JMP": _OP_JMP,
+    "JF": _OP_JF,
+    "POP": _OP_POP,
+    "CALL": _OP_CALL,
+    "SCHED": _OP_SCHED,
+    "HOP": _OP_HOP,
+    "DELETE": _OP_DELETE,
+    "CREATE": _OP_CREATE,
+}
+
+
+def _build_dispatch(program: Program) -> list:
+    """Resolve ``program`` to ``(int_opcode, arg)`` pairs, cached on the
+    program (one build per compiled program for its whole lifetime)."""
+    node_names = program.node_vars
+    code = []
+    for instr in program.instructions:
+        op, arg = instr.op, instr.arg
+        if op == "LOAD":
+            code.append(
+                (_OP_LOAD_N if arg in node_names else _OP_LOAD_M, arg)
+            )
+        elif op == "STORE":
+            code.append(
+                (_OP_STORE_N if arg in node_names else _OP_STORE_M, arg)
+            )
+        elif op == "BINOP":
+            try:
+                code.append((_BINOP_CODES[arg], arg))
+            except KeyError:
+                raise MclRuntimeError(
+                    f"unknown binary operator {arg!r}"
+                ) from None
+        elif op == "UNOP":
+            if arg == "-":
+                code.append((_OP_NEG, arg))
+            elif arg == "!":
+                code.append((_OP_NOT, arg))
+            else:
+                raise MclRuntimeError(f"unknown unary op {arg!r}")
+        elif op == "RET":
+            code.append(
+                (_OP_RET_VALUE if arg == "value" else _OP_RET_NONE, arg)
+            )
+        else:
+            code.append((_SIMPLE_CODES[op], arg))
+    program._dispatch = code
+    return code
+
+
 def run(
     frame: Frame,
     messenger_vars: dict,
@@ -159,11 +280,299 @@ def run(
         instruction (feeds ``mcl.vm.instructions{opcode}`` metrics; only
         requested when the attached registry opts into opcode counting,
         because the per-instruction increment is measurable overhead).
+        When supplied, execution takes the reference counting path.
 
     Returns the :class:`Command` describing why execution stopped, with
     ``instructions`` set to the number of bytecode instructions executed
     (the daemon charges interpretation time from it).
     """
+    if opcounts is not None:
+        return _run_counting(
+            frame,
+            messenger_vars,
+            node_vars,
+            netvar,
+            call_native,
+            max_instructions,
+            opcounts,
+        )
+
+    program = frame.program
+    code = program._dispatch
+    if code is None:
+        code = _build_dispatch(program)
+    ncode = len(code)
+    pc = frame.pc
+    stack = frame.stack
+    push = stack.append
+    pop = stack.pop
+    executed = 0
+
+    # Local bindings of the opcode constants: LOAD_FAST in the dispatch
+    # chain instead of a global lookup per comparison.
+    op_const = _OP_CONST
+    op_load_m = _OP_LOAD_M
+    op_load_n = _OP_LOAD_N
+    op_store_m = _OP_STORE_M
+    op_store_n = _OP_STORE_N
+    op_add = _OP_ADD
+    op_sub = _OP_SUB
+    op_mul = _OP_MUL
+    op_div = _OP_DIV
+    op_mod = _OP_MOD
+    op_eq = _OP_EQ
+    op_ne = _OP_NE
+    op_lt = _OP_LT
+    op_gt = _OP_GT
+    op_le = _OP_LE
+    op_ge = _OP_GE
+    op_index = _OP_INDEX
+    op_jmp = _OP_JMP
+    op_jf = _OP_JF
+    op_pop = _OP_POP
+    op_call = _OP_CALL
+
+    while True:
+        if pc >= ncode:
+            # Fell off the end of the program: implicit return.
+            frame.pc = pc
+            return DoneCommand(instructions=executed)
+        if executed >= max_instructions:
+            frame.pc = pc
+            raise MclRuntimeError(
+                f"{program.name}: exceeded {max_instructions} instructions "
+                "without reaching a preemption point (infinite loop?)"
+            )
+        op, arg = code[pc]
+        pc += 1
+        executed += 1
+
+        if op == op_load_m:
+            try:
+                push(messenger_vars[arg])
+            except KeyError:
+                frame.pc = pc
+                raise MclRuntimeError(
+                    f"{program.name}: variable {arg!r} used before "
+                    "assignment"
+                ) from None
+        elif op == op_const:
+            push(arg)
+        elif op == op_add:
+            right = pop()
+            try:
+                stack[-1] = stack[-1] + right
+            except (TypeError, IndexError, KeyError) as error:
+                frame.pc = pc
+                raise MclRuntimeError(f"+ failed: {error}") from error
+        elif op == op_lt:
+            right = pop()
+            try:
+                stack[-1] = 1 if stack[-1] < right else 0
+            except TypeError as error:
+                frame.pc = pc
+                raise MclRuntimeError(f"< failed: {error}") from error
+        elif op == op_store_m:
+            messenger_vars[arg] = pop()
+        elif op == op_jf:
+            if not pop():
+                # _truthy(x) is equivalent to bool(x) for every value MCL
+                # produces (C truthiness == Python truthiness here).
+                pc = arg
+        elif op == op_mul:
+            right = pop()
+            try:
+                stack[-1] = stack[-1] * right
+            except (TypeError, IndexError, KeyError) as error:
+                frame.pc = pc
+                raise MclRuntimeError(f"* failed: {error}") from error
+        elif op == op_sub:
+            right = pop()
+            try:
+                stack[-1] = stack[-1] - right
+            except (TypeError, IndexError, KeyError) as error:
+                frame.pc = pc
+                raise MclRuntimeError(f"- failed: {error}") from error
+        elif op == op_jmp:
+            pc = arg
+        elif op == op_mod:
+            right = pop()
+            try:
+                stack[-1] = stack[-1] % right
+            except (
+                TypeError,
+                ZeroDivisionError,
+                IndexError,
+                KeyError,
+            ) as error:
+                frame.pc = pc
+                raise MclRuntimeError(f"% failed: {error}") from error
+        elif op == op_div:
+            right = pop()
+            left = stack[-1]
+            try:
+                if isinstance(left, int) and isinstance(right, int):
+                    stack[-1] = left // right  # C integer division
+                else:
+                    stack[-1] = left / right
+            except (TypeError, ZeroDivisionError) as error:
+                frame.pc = pc
+                raise MclRuntimeError(f"/ failed: {error}") from error
+        elif op == op_eq:
+            right = pop()
+            stack[-1] = 1 if stack[-1] == right else 0
+        elif op == op_ne:
+            right = pop()
+            stack[-1] = 1 if stack[-1] != right else 0
+        elif op == op_gt:
+            right = pop()
+            try:
+                stack[-1] = 1 if stack[-1] > right else 0
+            except TypeError as error:
+                frame.pc = pc
+                raise MclRuntimeError(f"> failed: {error}") from error
+        elif op == op_le:
+            right = pop()
+            try:
+                stack[-1] = 1 if stack[-1] <= right else 0
+            except TypeError as error:
+                frame.pc = pc
+                raise MclRuntimeError(f"<= failed: {error}") from error
+        elif op == op_ge:
+            right = pop()
+            try:
+                stack[-1] = 1 if stack[-1] >= right else 0
+            except TypeError as error:
+                frame.pc = pc
+                raise MclRuntimeError(f">= failed: {error}") from error
+        elif op == op_index:
+            right = pop()
+            try:
+                stack[-1] = stack[-1][_coerce_index(right)]
+            except (TypeError, IndexError, KeyError) as error:
+                frame.pc = pc
+                raise MclRuntimeError(f"[] failed: {error}") from error
+        elif op == op_load_n:
+            try:
+                push(node_vars[arg])
+            except KeyError:
+                frame.pc = pc
+                raise MclRuntimeError(
+                    f"{program.name}: variable {arg!r} used before "
+                    "assignment"
+                ) from None
+        elif op == op_store_n:
+            node_vars[arg] = pop()
+        elif op == op_pop:
+            pop()
+        elif op == op_call:
+            name, argc = arg
+            if argc:
+                if len(stack) < argc:
+                    frame.pc = pc
+                    raise MclRuntimeError(
+                        f"stack underflow at pc={pc} in {program.name}"
+                    )
+                args = stack[-argc:]
+                del stack[-argc:]
+            else:
+                args = []
+            push(call_native(name, args))
+        elif op == _OP_NEG:
+            stack[-1] = -stack[-1]
+        elif op == _OP_NOT:
+            stack[-1] = 0 if stack[-1] else 1
+        elif op == _OP_LOADNET:
+            push(netvar(arg))
+        elif op == _OP_STORE_INDEX:
+            value = pop()
+            index = pop()
+            container = pop()
+            try:
+                container[_coerce_index(index)] = value
+            except (TypeError, IndexError, KeyError) as error:
+                frame.pc = pc
+                raise MclRuntimeError(
+                    f"index assignment failed: {error}"
+                ) from error
+        elif op == _OP_RET_NONE:
+            frame.pc = pc
+            return DoneCommand(instructions=executed)
+        elif op == _OP_RET_VALUE:
+            frame.pc = pc
+            return DoneCommand(instructions=executed, value=pop())
+        elif op == _OP_SCHED:
+            frame.pc = pc
+            time_value = pop()
+            if not isinstance(time_value, (int, float)):
+                raise MclRuntimeError(
+                    f"M_sched_time_{arg}: non-numeric time "
+                    f"{time_value!r}"
+                )
+            return SchedCommand(
+                instructions=executed, kind=arg, time=float(time_value)
+            )
+        elif op == _OP_HOP or op == _OP_DELETE:
+            frame.pc = pc
+            ll = _nav_name(pop()) if arg.ll_kind == EXPR else "*"
+            ln = _nav_name(pop()) if arg.ln_kind == EXPR else "*"
+            ctor = HopCommand if op == _OP_HOP else DeleteCommand
+            return ctor(
+                instructions=executed, ln=ln, ll=ll, ldir=arg.ldir
+            )
+        else:  # _OP_CREATE — _build_dispatch validates opcodes
+            frame.pc = pc
+            return _create_command(arg, pop, executed)
+
+
+def _create_command(template, pop, executed: int) -> CreateCommand:
+    """Resolve a CREATE template against the operand stack."""
+    # Values were pushed item-by-item in template order; pop in
+    # reverse (last item's last field is on top).
+    resolved: list[CreateItemSpec] = []
+    for item in reversed(template.items):
+        values: dict[str, Any] = {}
+        for fieldname in reversed(item.expr_fields):
+            values[fieldname] = _nav_name(pop())
+        resolved.append(
+            CreateItemSpec(
+                ln=(
+                    values.get("ln")
+                    if item.ln_kind == EXPR
+                    else (None if item.ln_kind == UNNAMED_KIND else "*")
+                ),
+                ll=(
+                    values.get("ll")
+                    if item.ll_kind == EXPR
+                    else (None if item.ll_kind == UNNAMED_KIND else "*")
+                ),
+                ldir=item.ldir,
+                dn=(values.get("dn") if item.dn_kind == EXPR else "*"),
+                dl=(values.get("dl") if item.dl_kind == EXPR else "*"),
+                ddir=item.ddir,
+            )
+        )
+    resolved.reverse()
+    return CreateCommand(
+        instructions=executed,
+        items=resolved,
+        all_daemons=template.all_daemons,
+    )
+
+
+def _run_counting(
+    frame: Frame,
+    messenger_vars: dict,
+    node_vars: dict,
+    netvar: Callable[[str], Any],
+    call_native: Callable[[str, list], Any],
+    max_instructions: int,
+    opcounts: dict,
+) -> Command:
+    """Reference interpreter: string-keyed dispatch with per-opcode
+    counting.  Byte-identical semantics to the fast path (the
+    determinism tests in ``tests/test_perf_determinism.py`` hold the two
+    to that)."""
     program = frame.program
     instructions = program.instructions
     node_names = program.node_vars
@@ -183,8 +592,7 @@ def run(
         frame.pc += 1
         executed += 1
         op = instr.op
-        if opcounts is not None:
-            opcounts[op] = opcounts.get(op, 0) + 1
+        opcounts[op] = opcounts.get(op, 0) + 1
 
         if op == "CONST":
             frame.push(instr.arg)
@@ -263,45 +671,6 @@ def run(
                 instructions=executed, ln=ln, ll=ll, ldir=template.ldir
             )
         elif op == "CREATE":
-            template = instr.arg
-            # Values were pushed item-by-item in template order; pop in
-            # reverse (last item's last field is on top).
-            resolved: list[CreateItemSpec] = []
-            for item in reversed(template.items):
-                values: dict[str, Any] = {}
-                for fieldname in reversed(item.expr_fields):
-                    values[fieldname] = _nav_name(frame.pop())
-                resolved.append(
-                    CreateItemSpec(
-                        ln=(
-                            values.get("ln")
-                            if item.ln_kind == EXPR
-                            else (None if item.ln_kind == UNNAMED_KIND else "*")
-                        ),
-                        ll=(
-                            values.get("ll")
-                            if item.ll_kind == EXPR
-                            else (None if item.ll_kind == UNNAMED_KIND else "*")
-                        ),
-                        ldir=item.ldir,
-                        dn=(
-                            values.get("dn")
-                            if item.dn_kind == EXPR
-                            else "*"
-                        ),
-                        dl=(
-                            values.get("dl")
-                            if item.dl_kind == EXPR
-                            else "*"
-                        ),
-                        ddir=item.ddir,
-                    )
-                )
-            resolved.reverse()
-            return CreateCommand(
-                instructions=executed,
-                items=resolved,
-                all_daemons=template.all_daemons,
-            )
+            return _create_command(instr.arg, frame.pop, executed)
         else:  # pragma: no cover - Program() validates opcodes
             raise MclRuntimeError(f"unknown opcode {op!r}")

@@ -36,6 +36,22 @@ _HEADER_BYTES = 64
 class Messenger:
     """One autonomous computation navigating the logical network."""
 
+    __slots__ = (
+        "id",
+        "program",
+        "frame",
+        "variables",
+        "vt",
+        "node",
+        "last_link",
+        "parent_id",
+        "alive",
+        "suspended",
+        "active",
+        "hops",
+        "instructions_executed",
+    )
+
     def __init__(
         self,
         program: Program,

@@ -19,7 +19,7 @@ Two guarantees mirror the paper:
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
 
 __all__ = ["NativeEnv", "NativeRegistry", "UnknownNativeError"]
 

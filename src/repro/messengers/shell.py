@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import shlex
 from pathlib import Path
-from typing import Optional
 
 from .system import MessengersSystem
 

@@ -10,14 +10,14 @@ outside (the command shell) at runtime", §1).
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Optional, Sequence, Union
+from typing import Any, Optional, Sequence, Union
 
 from ..des import SimulationError, Simulator
 from ..netsim import CostModel, Network, Packet
 from ..obs import InstantEvent
 from .daemon import Daemon
 from .daemon_graph import DaemonNetwork
-from .logical import LogicalNetwork, LogicalNode
+from .logical import LogicalNetwork
 from .mcl.bytecode import Program
 from .mcl.compiler import compile_source
 from .messenger import Messenger
@@ -122,7 +122,7 @@ class MessengersSystem:
         metrics registry (which exports it to Chrome traces / JSONL).
         """
         tracer = self.tracer
-        metrics = self.sim.metrics
+        metrics = self.sim.obs
         if tracer is None and metrics is None:
             return
         event = InstantEvent(
@@ -284,7 +284,7 @@ class MessengersSystem:
         messenger.kill()
         self._checkpoints.pop(messenger.id, None)
         self.finished.append((messenger, "lost" if lost else "done"))
-        metrics = self.sim.metrics
+        metrics = self.sim.obs
         if metrics is not None:
             metrics.count(
                 "messengers.lost" if lost else "messengers.finished"
@@ -296,7 +296,7 @@ class MessengersSystem:
         messenger.kill()
         self._checkpoints.pop(messenger.id, None)
         self.finished.append((messenger, "failed"))
-        metrics = self.sim.metrics
+        metrics = self.sim.obs
         if metrics is not None:
             metrics.count("messengers.failed")
         self.deactivate(messenger)

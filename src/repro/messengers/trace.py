@@ -18,7 +18,7 @@ paper mentions alongside ``net_builder`` (§3.2).
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..obs import InstantEvent

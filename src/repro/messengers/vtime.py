@@ -102,7 +102,7 @@ class ConservativeVirtualTime:
         start = sim.now
         yield sim.timeout(self._round_delay())
         self._round_running = False
-        metrics = sim.metrics
+        metrics = sim.obs
         if metrics is not None:
             # The timing-information exchange happened whether or not
             # GVT advances — that is the paper's "significant overhead".

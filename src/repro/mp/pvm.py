@@ -16,7 +16,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Optional
 
-from ..des import Process, Simulator
+from ..des import Simulator
 from ..netsim import CostModel, Network
 from .buffers import PackBuffer
 from .groups import GroupRegistry

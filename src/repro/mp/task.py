@@ -16,9 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence, Union
 
-from ..des import FilterStore, Interrupt
+from ..des import FilterStore
 from ..netsim import Packet
-from .buffers import PackBuffer, UnpackBuffer, estimate_size
+from .buffers import PackBuffer, UnpackBuffer
 
 __all__ = [
     "ANY",
@@ -44,7 +44,7 @@ class TaskKilled(Exception):
     """Raised inside a task that was killed via ``pvm_kill``."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A received message: source tid, tag, and the unpack buffer."""
 
@@ -130,7 +130,7 @@ class TaskContext:
         for index in range(count):
             host_name = hosts[index % len(hosts)] if hosts else None
             yield self.sim.timeout(self._system.costs.mp_spawn_s)
-            metrics = self.sim.metrics
+            metrics = self.sim.obs
             if metrics is not None:
                 metrics.count("mp.spawns")
                 metrics.charge("protocol", self._system.costs.mp_spawn_s)
@@ -196,7 +196,7 @@ class TaskContext:
         yield from self._busy(
             pack_seconds + costs.mp_per_message_s, label="mp.send"
         )
-        metrics = self.sim.metrics
+        metrics = self.sim.obs
         if metrics is not None:
             metrics.count("mp.messages_sent")
             metrics.count("mp.pack.bytes_copied", buf.nbytes)
@@ -231,7 +231,7 @@ class TaskContext:
         costs = self._system.costs
         pack_seconds = buf.nbytes * costs.pack_cost_per_byte_s
         yield from self._busy(pack_seconds, label="mp.pack")
-        metrics = self.sim.metrics
+        metrics = self.sim.obs
         if metrics is not None:
             metrics.count("mp.pack.bytes_copied", buf.nbytes)
             metrics.charge("copies", pack_seconds)
@@ -273,7 +273,7 @@ class TaskContext:
         costs = self._system.costs
         unpack_seconds = buf.nbytes * costs.unpack_cost_per_byte_s
         yield from self._busy(unpack_seconds, label="mp.recv")
-        metrics = self.sim.metrics
+        metrics = self.sim.obs
         if metrics is not None:
             metrics.count("mp.messages_received")
             metrics.count("mp.unpack.bytes_copied", buf.nbytes)
@@ -298,7 +298,7 @@ class TaskContext:
                     got_buf.nbytes * costs.unpack_cost_per_byte_s
                 )
                 yield from self._busy(unpack_seconds, label="mp.recv")
-                metrics = self.sim.metrics
+                metrics = self.sim.obs
                 if metrics is not None:
                     metrics.count("mp.messages_received")
                     metrics.count("mp.unpack.bytes_copied", got_buf.nbytes)

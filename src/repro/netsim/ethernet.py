@@ -64,7 +64,7 @@ class EthernetSegment:
                     self.busy_seconds += duration
                     self.bytes_carried += payload
                     self.frames_carried += 1
-                    metrics = sim.metrics
+                    metrics = sim.obs
                     if metrics is not None:
                         metrics.count("netsim.eth.frames")
                         metrics.count("netsim.eth.bytes", payload)

@@ -8,7 +8,7 @@ transport layer are per-(host, port) stores created on demand.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..des import Resource, Simulator, Store
 from ..des.errors import SimulationError
@@ -112,7 +112,7 @@ class Host:
                     raise HostCrashedError(f"host {self.name!r} is down")
                 yield sim.timeout(seconds)
                 self.busy_seconds += seconds
-                metrics = sim.metrics
+                metrics = sim.obs
                 if metrics is not None and (
                     category is not None or label is not None
                 ):

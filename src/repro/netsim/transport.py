@@ -11,9 +11,9 @@ not here — the wire treats everyone equally.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from typing import Any, Optional
 
-from ..des import Simulator, Store
+from ..des import Simulator
 from ..des.errors import SimOverloadError
 from .costs import CostModel, DEFAULT_COSTS
 from .ethernet import EthernetSegment
@@ -25,7 +25,7 @@ __all__ = ["Packet", "Network", "build_lan"]
 ACK_BYTES = 64
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One unit of delivery between host ports.
 
@@ -326,7 +326,7 @@ class Network:
                 continue
             copies = 2 if action == "duplicate" else 1
             yield from self._deliver(host, packet, dst_host, copies)
-            metrics = self.sim.metrics
+            metrics = self.sim.obs
             if metrics is not None:
                 metrics.charge("protocol", endpoint_s)
                 metrics.span(
@@ -371,7 +371,7 @@ class Network:
                 faults.count("duplicates_delivered")
             yield queue.put(packet)
             self.delivered += 1
-            metrics = self.sim.metrics
+            metrics = self.sim.obs
             if metrics is not None:
                 metrics.count("netsim.net.packets")
                 metrics.count("netsim.net.bytes", packet.size_bytes)

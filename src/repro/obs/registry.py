@@ -32,7 +32,7 @@ written unconditionally at zero cost.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 __all__ = [

@@ -1,0 +1,256 @@
+"""Frozen pre-optimisation DES kernel, kept as a measuring stick.
+
+This is a faithful copy of the event kernel's hot path as it stood
+*before* the fast path landed: dict-based event objects, an
+``itertools.count`` event-id counter, a method-call ``schedule``, a
+step-per-event run loop with a per-event metrics test, and a process
+resume loop that tracks ``_target``/``_active_process`` and type-checks
+every yielded value — all the per-event work the optimisation removed.
+
+It exists for exactly one purpose: the throughput benchmarks compare
+the live kernel against this one **in the same process, back-to-back**,
+so the ≥2× speedup assertion is a ratio of two numbers measured under
+identical machine conditions and is immune to host noise.  Nothing in
+the simulator stack may import from this module except the benchmarks.
+
+Do not optimise this file.  Its slowness is the point.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from types import GeneratorType
+from typing import Any, Callable, Optional
+
+from ..des.errors import SimulationError, StopSimulation
+
+__all__ = [
+    "SlowEvent",
+    "SlowTimeout",
+    "SlowProcess",
+    "SlowSimulator",
+    "des_event_throughput_reference",
+]
+
+_PENDING = object()
+
+_URGENT = 0
+_NORMAL = 1
+
+
+class SlowEvent:
+    """The original Event: plain ``__dict__``, schedule via method call."""
+
+    def __init__(self, sim: "SlowSimulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    def defuse(self) -> None:
+        self._defused = True
+
+    def succeed(self, value: Any = None) -> "SlowEvent":
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "SlowEvent":
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.sim.schedule(self)
+        return self
+
+
+class SlowTimeout(SlowEvent):
+    """The original Timeout: full ``__init__`` chain, scheduled eagerly."""
+
+    def __init__(
+        self,
+        sim: "SlowSimulator",
+        delay: float,
+        value: Any = None,
+        daemon: bool = False,
+    ):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self.daemon = daemon
+        self._ok = True
+        self._value = value
+        sim.schedule(self, delay=delay, daemon=daemon)
+
+
+class _SlowInitialize(SlowEvent):
+    def __init__(self, sim, process: "SlowProcess"):
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self.callbacks = [process._resume]
+        sim.schedule(self, priority=_URGENT)
+
+
+class SlowProcess(SlowEvent):
+    """The original Process: uncached bound methods, per-yield
+    ``isinstance`` checks, target tracking, active-process bookkeeping."""
+
+    def __init__(self, sim, generator, daemon: bool = False):
+        if not isinstance(generator, GeneratorType):
+            raise TypeError(f"process() needs a generator, got {generator!r}")
+        super().__init__(sim)
+        self._generator = generator
+        self.daemon = daemon
+        self._target: Optional[SlowEvent] = _SlowInitialize(sim, self)
+        sim._live_processes.add(self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def _resume(self, event: SlowEvent) -> None:
+        self.sim._active_process = self
+        try:
+            while True:
+                try:
+                    if event is None or event._ok:
+                        next_target = self._generator.send(
+                            None if event is None else event._value
+                        )
+                    else:
+                        event.defuse()
+                        next_target = self._generator.throw(event._value)
+                except StopIteration as stop:
+                    self._target = None
+                    self.sim._live_processes.discard(self)
+                    self.succeed(stop.value)
+                    return
+                except BaseException as error:
+                    self._target = None
+                    self.sim._live_processes.discard(self)
+                    self.fail(error)
+                    return
+
+                if not isinstance(next_target, SlowEvent):
+                    raise TypeError(
+                        f"slow process yielded a non-event: {next_target!r}"
+                    )
+                if next_target.callbacks is not None:
+                    next_target.callbacks.append(self._resume)
+                    self._target = next_target
+                    return
+                event = next_target
+        finally:
+            self.sim._active_process = None
+
+
+class SlowSimulator:
+    """The original Simulator: ``itertools.count`` ids, step() per event,
+    a metrics test per event, and ``len(queue)`` in the loop condition."""
+
+    def __init__(self):
+        self._now: float = 0.0
+        self._queue: list = []
+        self._eid = itertools.count()
+        self._active_process = None
+        self._metrics_events = None
+        self._fg_pending: int = 0
+        self._live_processes: set = set()
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def event(self) -> SlowEvent:
+        return SlowEvent(self)
+
+    def timeout(
+        self, delay: float, value: Any = None, daemon: bool = False
+    ) -> SlowTimeout:
+        return SlowTimeout(self, delay, value, daemon=daemon)
+
+    def process(self, generator, daemon: bool = False) -> SlowProcess:
+        # The historical kernel resolved its Process class with a
+        # ``from .process import Process`` *inside* this method — a
+        # sys.modules hit per spawn.  Keep an equivalent import here so
+        # the reference pays the same cost.
+        from ..des import process as _process_module  # noqa: F401
+
+        return SlowProcess(self, generator, daemon=daemon)
+
+    def schedule(
+        self,
+        event: SlowEvent,
+        delay: float = 0.0,
+        priority: int = _NORMAL,
+        daemon: bool = False,
+    ) -> None:
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, priority, next(self._eid), daemon, event),
+        )
+        if not daemon:
+            self._fg_pending += 1
+
+    def step(self) -> None:
+        time_, _prio, _eid, daemon, event = heapq.heappop(self._queue)
+        self._now = time_
+        if not daemon:
+            self._fg_pending -= 1
+        if self._metrics_events is not None:
+            self._metrics_events.value += 1
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self) -> None:
+        try:
+            while self._queue and self._fg_pending > 0:
+                self.step()
+        except StopSimulation:
+            pass
+
+
+def des_event_throughput_reference(
+    n: int = 200_000, repeats: int = 3
+) -> dict:
+    """The same chain workload as
+    :func:`repro.perf.des_event_throughput`, run on the frozen kernel.
+
+    Dividing the live probe's ``per_sec`` by this one's gives the
+    speedup ratio the benchmarks assert on.
+    """
+    from . import _best_of, _result
+
+    def once():
+        sim = SlowSimulator()
+
+        def chain(sim):
+            timeout = sim.timeout
+            for _ in range(n):
+                yield timeout(1.0)
+
+        sim.process(chain(sim))
+        start = time.perf_counter()
+        sim.run()
+        return n, time.perf_counter() - start
+
+    return _result(*_best_of(once, repeats))

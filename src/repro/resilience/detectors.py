@@ -35,7 +35,6 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Optional
 
 __all__ = ["FailureDetector", "HeartbeatDetector", "PhiAccrualDetector"]
 

@@ -58,7 +58,7 @@ class TestSeriesAndFigure:
         text = figure.as_table()
         assert "T" in text
         # x=1 row has a blank for series b
-        lines = [l for l in text.splitlines() if l.strip().startswith("1")]
+        lines = [ln for ln in text.splitlines() if ln.strip().startswith("1")]
         assert lines
 
     def test_render_includes_chart_and_legend(self):

@@ -6,7 +6,6 @@ from repro.des import Simulator
 from repro.netsim import build_lan
 from repro.messengers import MessengersSystem
 from repro.messengers.mcl import (
-    CompileError,
     DoneCommand,
     Frame,
     MclRuntimeError,

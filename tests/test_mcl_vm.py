@@ -211,10 +211,17 @@ class TestNavigationCommands:
         assert (command.ln, command.ll, command.ldir) == ("b", "x", "+")
 
     def test_hop_counts_instructions(self):
+        program = compile_source("f(a) { x = a + 2; hop(); }")
+        frame = Frame(program)
+        command = run(frame, {"a": 1}, {}, lambda n: None, lambda n, a: None)
+        assert command.instructions > 3
+
+    def test_constant_expressions_fold_at_compile_time(self):
+        # 1 + 2 folds to one CONST, so only CONST, STORE, HOP execute.
         program = compile_source("f() { x = 1 + 2; hop(); }")
         frame = Frame(program)
         command = run(frame, {}, {}, lambda n: None, lambda n, a: None)
-        assert command.instructions > 3
+        assert command.instructions == 3
 
     def test_numeric_node_name_coerced(self):
         program = compile_source("f(i) { hop(ln = i); }")

@@ -37,7 +37,7 @@ class TestTopologyFiles:
         )
         assert set(nodes) == {"A", "B", "C"}
         assert nodes["A"].degree() == 2
-        bc = [l for l in nodes["B"].links if l.name == "bc"][0]
+        bc = [link for link in nodes["B"].links if link.name == "bc"][0]
         assert bc.directed and bc.src is nodes["B"]
 
     def test_unknown_daemon_rejected(self, system):
@@ -81,21 +81,21 @@ class TestGrid:
         assert len(nodes) == 9
 
         center = nodes[grid_node_name(1, 1)]
-        row_links = [l for l in center.links if l.name == "row"]
-        col_links = [l for l in center.links if l.name == "column"]
+        row_links = [link for link in center.links if link.name == "row"]
+        col_links = [link for link in center.links if link.name == "column"]
         assert len(row_links) == m - 1
-        assert all(not l.directed for l in row_links)
+        assert all(not link.directed for link in row_links)
         # ring: one outgoing (to row 0) + one incoming (from row 2)
         assert len(col_links) == 2
-        assert all(l.directed for l in col_links)
-        out = [l for l in col_links if l.src is center]
+        assert all(link.directed for link in col_links)
+        out = [link for link in col_links if link.src is center]
         assert out[0].dst.name == grid_node_name(0, 1)
 
     def test_column_wraps_around(self, system):
         nodes = build_grid(system, 2)
         top = nodes[grid_node_name(0, 0)]
         outgoing = [
-            l for l in top.links if l.name == "column" and l.src is top
+            link for link in top.links if link.name == "column" and link.src is top
         ]
         assert outgoing[0].dst.name == grid_node_name(1, 0)
 

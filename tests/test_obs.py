@@ -24,7 +24,6 @@ from repro.obs import (
     dump_chrome_trace,
     format_breakdown,
     format_counters,
-    to_chrome_trace,
     to_jsonl,
 )
 

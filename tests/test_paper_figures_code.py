@@ -8,7 +8,6 @@ fails loudly.
 """
 
 import numpy as np
-import pytest
 
 from repro.apps.mandelbrot import MANAGER_WORKER_SCRIPT
 from repro.apps.matmul import DISTRIBUTE_A_SCRIPT, ROTATE_B_SCRIPT

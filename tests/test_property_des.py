@@ -1,6 +1,5 @@
 """Property-based tests for the simulation kernel (hypothesis)."""
 
-import heapq
 
 from hypothesis import given, settings, strategies as st
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.des import Simulator
 from repro.mp import GroupRegistry, MessagePassingSystem
-from repro.netsim import CostModel, Network, Packet, build_lan
+from repro.netsim import CostModel, Packet, build_lan
 from repro.messengers import MessengersSystem
 
 
