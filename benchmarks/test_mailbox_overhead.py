@@ -1,0 +1,78 @@
+"""MAILBOX-GUARD — the mailbox layer's wall-clock overhead budget.
+
+The armed-but-idle contract: a cluster built with
+``ClusterConfig(mailbox=...)`` arms one parked delivery pump per daemon,
+registers one failure listener, and opts the (otherwise unused) mailbox
+port into reliable delivery — none of which may perturb a run that
+never touches mail.  Delivery, replay, and consumers only cost when
+mail actually flows, the same pay-only-when-perturbing rule the
+observability, fault, and resilience layers follow.
+
+Budget (wall clock, min-of-N so scheduler noise can only help): the
+armed-but-idle cluster <= 2% over a cluster without the layer.
+Simulated seconds must be *identical*.
+"""
+
+import time
+
+import pytest
+
+from repro import Cluster, ClusterConfig, MailboxConfig
+
+pytestmark = pytest.mark.obs_guard
+
+ROUNDS = 120
+REPEATS = 3
+STORM = "f() { create(ALL); hop(ll = $last); }"
+
+
+def _timed(mailbox):
+    config = ClusterConfig(
+        n_hosts=4, mailbox=(MailboxConfig() if mailbox else None)
+    )
+    c = Cluster(config=config)
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        c.inject(STORM, daemon="host0")
+        c.run_to_quiescence()
+    return time.perf_counter() - start, c.now, c
+
+
+@pytest.fixture(scope="module")
+def timings():
+    # Warm up once so import and compile costs land outside the race.
+    _timed(False)
+    walls: dict[str, float] = {}
+    sims: dict[str, float] = {}
+    # Interleave the modes so drift hits both equally; keep the minimum.
+    for _ in range(REPEATS):
+        for name, armed in (("off", False), ("armed", True)):
+            wall, simulated, _ = _timed(armed)
+            walls[name] = min(walls.get(name, float("inf")), wall)
+            sims[name] = simulated
+    return walls, sims
+
+
+class TestMailboxOverhead:
+    def test_idle_mailbox_does_not_perturb_timeline(self, timings):
+        _, sims = timings
+        assert sims["armed"] == sims["off"]
+
+    def test_idle_mailbox_within_budget(self, timings):
+        walls, _ = timings
+        assert walls["armed"] <= walls["off"] * 1.02 + 0.010
+
+
+class TestMailboxGating:
+    def test_armed_but_idle_counts_nothing(self):
+        _, _, c = _timed(True)
+        # The storm never touched mail: every lifecycle counter is zero
+        # and nothing ever entered the in-flight ledger.
+        assert c.mail_stats == {}
+        assert c.mail._pending == {}
+        assert c.mail.latencies == []
+
+    def test_unarmed_cluster_never_builds_the_layer(self):
+        _, _, c = _timed(False)
+        assert c._mail is None
+        assert c.mail_stats == {}

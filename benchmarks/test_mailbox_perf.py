@@ -1,0 +1,80 @@
+"""MAILBOX-PERF — the mailbox bench versus ``BENCH_mailbox.json``.
+
+Two guards with different portability, mirroring the perf suite:
+
+* The *simulated* side of every scenario (latency, throughput in
+  simulated seconds, lifecycle counters, the read-set digest) is
+  deterministic — it must match the committed blob bit-for-bit on any
+  host.  A mismatch means the delivery lifecycle changed behaviour,
+  not that the machine got slower.
+* The *wall-clock* side (``mail_ops_per_sec``) moves with the host;
+  the smoke gate allows a 25% regression against the committed number
+  before failing, plus a deliberately loose absolute floor that
+  catches catastrophic slowdowns (an accidental O(n^2), a debug path
+  left on) on any machine.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.mailbox_experiments import BASELINE, run_mailbox_bench
+
+BENCH_MAILBOX = Path(__file__).resolve().parents[1] / "BENCH_mailbox.json"
+
+_SIMULATED_KEYS = (
+    "counts", "lifecycle", "read_digest", "received", "latency_mean_s",
+    "latency_p95_s", "latency_max_s", "makespan_s", "delivered",
+    "throughput_mail_per_s",
+)
+
+
+def _blob():
+    if not hasattr(_blob, "cached"):
+        _blob.cached = run_mailbox_bench(repeats=2)
+    return _blob.cached
+
+
+def test_committed_blob_matches_module_baseline():
+    committed = json.loads(BENCH_MAILBOX.read_text())
+    assert committed["baseline"] == BASELINE, (
+        "BENCH_mailbox.json is out of sync with "
+        "repro.bench.mailbox_experiments.BASELINE — regenerate it with "
+        "`python -m repro bench mailbox --out BENCH_mailbox.json`"
+    )
+
+
+def test_simulated_results_are_bit_identical_to_committed(show):
+    committed = json.loads(BENCH_MAILBOX.read_text())
+    measured = _blob()["current"]["scenarios"]
+    for name, pinned in committed["current"]["scenarios"].items():
+        current = measured[name]
+        for key in _SIMULATED_KEYS:
+            assert current[key] == pinned[key], (
+                f"scenario {name!r}: simulated {key} diverged from the "
+                f"committed BENCH_mailbox.json ({current[key]!r} vs "
+                f"{pinned[key]!r}) — the delivery lifecycle changed "
+                "behaviour"
+            )
+        show(
+            f"{name:<12} delivered={current['delivered']} "
+            f"mean={current['latency_mean_s'] * 1e3:.3f}ms "
+            f"p95={current['latency_p95_s'] * 1e3:.3f}ms "
+            f"digest={current['read_digest'][:12]} (matches committed)"
+        )
+
+
+def test_mail_ops_within_25pct_of_committed(show):
+    committed = json.loads(BENCH_MAILBOX.read_text())
+    pinned = committed["baseline"]["mail_ops_per_sec"]
+    measured = _blob()["current"]["mail_ops_per_sec"]
+    show(
+        f"mail ops: {measured:,.0f}/s wall "
+        f"(committed {pinned:,.0f}/s, ratio {measured / pinned:.2f})"
+    )
+    assert measured >= 0.75 * pinned, (
+        f"mailbox wall throughput regressed >25% against the committed "
+        f"BENCH_mailbox.json baseline ({measured:,.0f}/s vs "
+        f"{pinned:,.0f}/s)"
+    )
+    # Loose absolute floor: catches disasters regardless of host speed.
+    assert measured > 1_000

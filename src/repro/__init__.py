@@ -29,6 +29,11 @@ Subpackages
     (packet loss, duplication, corruption, partitions, host crashes and
     restarts), the reliable-delivery layer they force, and the recovery
     machinery's counters.
+``repro.mailbox``
+    Durable per-node mailboxes with an explicit delivery lifecycle
+    (sent → delivered → seen → processed → read), broadcast with
+    per-recipient dedup, poll-mode consumers, and exactly-once
+    guarantees that hold under faults and host churn.
 ``repro.resilience``
     Detection-driven recovery: heartbeat/phi-accrual failure detectors,
     supervision restart policies, transport flow control, in-run
@@ -51,13 +56,27 @@ EXPERIMENTS.md for paper-versus-measured results.
 """
 
 from .des import Simulator
-from .facade import Cluster, Experiment, ExperimentResult, cluster
+from .facade import (
+    Cluster,
+    ClusterConfig,
+    Experiment,
+    ExperimentResult,
+    cluster,
+)
 from .faults import (
     FaultEvent,
     FaultInjector,
     FaultPlan,
     FaultPlanError,
     RetransmitPolicy,
+)
+from .mailbox import (
+    Mail,
+    Mailbox,
+    MailboxConfig,
+    MailboxService,
+    NoDoubleRead,
+    NoLostMail,
 )
 from .messengers import (
     DaemonNetwork,
@@ -93,12 +112,13 @@ from .resilience import (
     WorkLedger,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CATEGORIES",
     "CacheModel",
     "Cluster",
+    "ClusterConfig",
     "CostModel",
     "DEFAULT_COSTS",
     "DaemonNetwork",
@@ -109,11 +129,17 @@ __all__ = [
     "FaultPlan",
     "FaultPlanError",
     "InvariantViolation",
+    "Mail",
+    "Mailbox",
+    "MailboxConfig",
+    "MailboxService",
     "MessagePassingSystem",
     "MessengersSystem",
     "MetricsRegistry",
     "NativeRegistry",
     "Network",
+    "NoDoubleRead",
+    "NoLostMail",
     "PackBuffer",
     "ResiliencePolicy",
     "ResilienceSuite",

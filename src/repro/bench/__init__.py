@@ -23,6 +23,7 @@ from .matmul_experiments import (
     blocking_speedup_model,
     run_block_size_sweep,
 )
+from .mailbox_experiments import run_mailbox_bench, run_mailbox_scenario
 from .perf_experiments import run_perf_report
 from .reporting import Figure, Series, ascii_chart, format_table
 from .resilience_experiments import (
@@ -74,6 +75,8 @@ __all__ = [
     "run_detection_sweep",
     "run_figure",
     "run_loss_sweep",
+    "run_mailbox_bench",
+    "run_mailbox_scenario",
     "run_perf_report",
     "run_recovery_comparison",
     "run_replications",

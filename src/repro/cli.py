@@ -29,16 +29,18 @@ Commands
     Mandelbrot workload with :class:`repro.resilience.ScheduleSearcher`
     and shrink any violation to a minimal reproducer.  Exits non-zero
     when a violation is found.
-``bench {perf,throughput,faults,resilience,sweep} [--parallel N]``
+``bench {perf,throughput,faults,resilience,mailbox,sweep} [--parallel N]``
     Run a benchmark suite and emit the JSON blob the committed
     ``BENCH_*.json`` files are made of (stdout, or ``--out FILE``).
     ``perf`` is the throughput report behind ``BENCH_perf.json``;
     ``throughput`` is just its microbenchmarks; ``faults`` /
-    ``resilience`` regenerate the fault and resilience sweeps; and
-    ``sweep`` runs the seed-replication demo experiment.  ``--parallel
-    N`` fans independent replications out over an ``N``-process pool
-    (``faults`` and ``sweep``) — the output is identical to the serial
-    run by construction.
+    ``resilience`` regenerate the fault and resilience sweeps;
+    ``mailbox`` measures mail delivery latency and throughput under
+    churn and 5% loss (``BENCH_mailbox.json``); and ``sweep`` runs the
+    seed-replication demo experiment.  ``--parallel N`` fans
+    independent replications out over an ``N``-process pool (``faults``
+    and ``sweep``) — the output is identical to the serial run by
+    construction.
 ``selftest``
     Run the repository's test suite plus the observability, fault-path
     and resilience overhead guards (requires pytest).
@@ -359,6 +361,8 @@ def _cmd_bench(args) -> int:
             "detection": bench.run_detection_sweep(),
             "recovery": bench.run_recovery_comparison(),
         }
+    elif args.which == "mailbox":
+        blob = bench.run_mailbox_bench(repeats=args.repeats)
     else:  # sweep
         blob = bench.seed_sweep_experiment().run(processes=args.parallel)
     text = json.dumps(blob, indent=2, sort_keys=True)
@@ -382,6 +386,7 @@ def _cmd_selftest(args) -> int:
         "test_obs_overhead.py",
         "test_faults_overhead.py",
         "test_resilience_overhead.py",
+        "test_mailbox_overhead.py",
     ):
         guard = root / "benchmarks" / guard_name
         if guard.exists():
@@ -509,7 +514,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "which",
-        choices=["perf", "throughput", "faults", "resilience", "sweep"],
+        choices=[
+            "perf", "throughput", "faults", "resilience", "mailbox", "sweep",
+        ],
     )
     bench.add_argument("--parallel", type=int, default=1,
                        help="replication pool size (faults/sweep; "

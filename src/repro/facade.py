@@ -18,124 +18,228 @@ them as one::
 A :class:`Cluster` owns the simulator and the physical network and
 builds the software systems lazily: ``c.messengers`` the first time a
 Messenger-side call is made, ``c.mp`` the first time a task is
-spawned.  Both share the same wire, so mixed experiments work too.
+spawned, ``c.mail`` the first time mailboxes are touched.  All share
+the same wire, so mixed experiments work too.
 
-:class:`Experiment` is the fluent front end for measured runs::
+Configuration is *typed*: every subsystem knob lives on one composable
+:class:`ClusterConfig` (with :class:`~repro.mailbox.MailboxConfig`
+nested for the mailbox layer)::
 
-    result = (repro.Experiment().hosts(8).metrics()
-              .run(lambda c: c.inject(SCRIPT) and c.run_to_quiescence()))
+    cfg = repro.ClusterConfig(
+        n_hosts=8,
+        metrics=True,
+        faults=plan,
+        mailbox=repro.MailboxConfig(poll_interval_s=0.01),
+    )
+    c = repro.cluster(config=cfg)
+
+The pre-1.3 keyword pile (``repro.cluster(4, metrics=True, ...)``)
+still works but is deprecated: the kwargs are folded into a
+``ClusterConfig`` and a :class:`DeprecationWarning` is emitted.
+
+:class:`Experiment` is the fluent front end for measured runs.  The
+body is an ordinary function of the cluster — use real statements, not
+an ``and``-chain (``c.inject(s) and c.run_to_quiescence()`` would
+short-circuit whenever ``inject`` returned a falsy value)::
+
+    def body(c):
+        c.inject(SCRIPT)
+        return c.run_to_quiescence()
+
+    result = repro.Experiment().hosts(8).metrics().run(body)
     print(result.report())
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional, Union
 
 from .des import Simulator
+from .mailbox import MailboxConfig
 from .netsim import CostModel, DEFAULT_COSTS, Network, build_lan
 from .obs import MetricsRegistry, cost_breakdown, format_breakdown
 
-__all__ = ["Cluster", "Experiment", "ExperimentResult", "cluster"]
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "Experiment",
+    "ExperimentResult",
+    "cluster",
+]
 
 #: Daemon-graph shapes :class:`Cluster` knows how to build.
 TOPOLOGIES = ("ethernet", "complete", "ring")
+
+#: Keyword arguments the pre-ClusterConfig facade accepted directly.
+_LEGACY_KWARGS = (
+    "topology", "costs", "cpu_scale", "metrics", "faults", "seed",
+    "resilience", "name_prefix",
+)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Typed, composable configuration for a :class:`Cluster`.
+
+    One object describes the whole platform; subsystems each get a
+    field instead of growing the constructor a kwarg at a time:
+
+    ``n_hosts``, ``name_prefix``, ``cpu_scale``, ``costs``
+        The physical platform — how many simulated workstations, their
+        names, their relative CPU speed, and the cost table (default:
+        the SPARCstation 5 calibration).
+    ``topology``
+        Shape of the *daemon* network: ``"ethernet"`` (alias
+        ``"complete"``) or ``"ring"``, or a pre-built
+        :class:`~repro.messengers.DaemonNetwork`.
+    ``metrics``
+        ``True`` for a fresh :class:`~repro.obs.MetricsRegistry`, or a
+        registry you built yourself.  Default off (zero overhead).
+    ``faults`` / ``seed``
+        A :class:`~repro.faults.FaultPlan` and the root seed for its
+        random streams.
+    ``resilience``
+        A :class:`~repro.resilience.ResiliencePolicy` to arm.
+    ``mailbox``
+        ``True`` or a :class:`~repro.mailbox.MailboxConfig` to arm the
+        durable mailbox layer eagerly (``None`` leaves it lazy —
+        touching ``c.mail`` arms it with defaults).  When both a
+        resilience policy and the mailbox layer are armed, the
+        ``no-lost-mail`` / ``no-double-read`` invariants are wired into
+        the suite automatically.
+    """
+
+    n_hosts: int = 4
+    topology: Any = "ethernet"
+    costs: Optional[CostModel] = None
+    cpu_scale: float = 1.0
+    metrics: Union[bool, MetricsRegistry] = False
+    faults: Any = None
+    seed: int = 0
+    resilience: Any = None
+    mailbox: Union[None, bool, MailboxConfig] = None
+    name_prefix: str = "host"
+
+    def __post_init__(self):
+        if self.n_hosts < 1:
+            raise ValueError(
+                f"need at least one host, got {self.n_hosts}"
+            )
+        if (
+            isinstance(self.topology, str)
+            and self.topology not in TOPOLOGIES
+        ):
+            raise ValueError(
+                f"unknown topology {self.topology!r} (choose from "
+                f"{', '.join(TOPOLOGIES)} or pass a DaemonNetwork)"
+            )
+
+    def mailbox_config(self) -> MailboxConfig:
+        """The effective mailbox configuration (defaults for ``True``)."""
+        if isinstance(self.mailbox, MailboxConfig):
+            return self.mailbox
+        return MailboxConfig()
 
 
 class Cluster:
     """The paper's platform in one object: N hosts on one shared LAN.
 
-    Parameters
-    ----------
-    n_hosts:
-        Number of simulated workstations.
-    topology:
-        Shape of the *daemon* network: ``"ethernet"`` (alias
-        ``"complete"``, the paper's single-LAN platform where every
-        daemon reaches every other) or ``"ring"``.  A pre-built
-        :class:`~repro.messengers.DaemonNetwork` is also accepted.
-        The physical substrate is always one shared Ethernet segment.
-    costs:
-        Platform cost table (default: the SPARCstation 5 calibration).
-    cpu_scale:
-        Relative CPU speed of every host.
-    metrics:
-        ``True`` to attach a fresh :class:`~repro.obs.MetricsRegistry`
-        to the simulator (or pass a registry you built yourself).
-        Default off — the zero-overhead path.
-    faults:
-        A :class:`~repro.faults.FaultPlan` to attach.  Packet loss,
-        duplication, corruption, partitions, crashes, and restarts then
-        replay deterministically from ``seed``; recovery counters land
-        in :attr:`fault_stats`.
-    seed:
-        Root seed for the fault plan's random streams.
-    resilience:
-        A :class:`~repro.resilience.ResiliencePolicy` to arm: failure
-        detector (crash recovery by detection instead of the oracle),
-        supervision restarts, transport flow control.  The armed
-        :class:`~repro.resilience.ResilienceSuite` is exposed as
-        :attr:`resilience`; its statistics as :attr:`resilience_stats`.
-    name_prefix:
-        Host names are ``f"{name_prefix}{index}"``.
+    The canonical constructions::
+
+        Cluster(8)                         # 8 hosts, defaults otherwise
+        Cluster(config=ClusterConfig(...)) # fully configured
+
+    An explicit ``n_hosts`` overrides ``config.n_hosts``.  The pre-1.3
+    keyword arguments (``topology=``, ``metrics=``, ``faults=``, ...)
+    are accepted as deprecation shims: they fold into the config and
+    emit a :class:`DeprecationWarning`.
     """
 
     def __init__(
         self,
-        n_hosts: int = 4,
-        topology: Any = "ethernet",
-        costs: Optional[CostModel] = None,
-        cpu_scale: float = 1.0,
-        metrics: Union[bool, MetricsRegistry] = False,
-        faults: Any = None,
-        seed: int = 0,
-        resilience: Any = None,
-        name_prefix: str = "host",
+        n_hosts: Optional[int] = None,
+        config: Optional[ClusterConfig] = None,
+        **legacy: Any,
     ):
+        if legacy:
+            unknown = sorted(set(legacy) - set(_LEGACY_KWARGS))
+            if unknown:
+                raise TypeError(
+                    f"unknown Cluster arguments {unknown}; "
+                    f"ClusterConfig fields are "
+                    f"{[f.name for f in ClusterConfig.__dataclass_fields__.values()]}"
+                )
+            if config is not None:
+                raise TypeError(
+                    "pass either a ClusterConfig or legacy keyword "
+                    "arguments, not both"
+                )
+            warnings.warn(
+                "passing subsystem options as keyword arguments "
+                f"({', '.join(sorted(legacy))}) is deprecated; build a "
+                "repro.ClusterConfig and pass it as config=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = ClusterConfig(**legacy)
+        elif config is None:
+            config = ClusterConfig()
+        if n_hosts is not None:
+            config = replace(config, n_hosts=n_hosts)
+        self.config = config
+
         self.sim = Simulator()
-        self.costs = costs if costs is not None else DEFAULT_COSTS
-        self.network: Network = build_lan(
-            self.sim, n_hosts, self.costs, cpu_scale, name_prefix
+        self.costs = (
+            config.costs if config.costs is not None else DEFAULT_COSTS
         )
-        if isinstance(metrics, MetricsRegistry):
-            self.metrics: Optional[MetricsRegistry] = metrics
-        elif metrics:
+        self.network: Network = build_lan(
+            self.sim,
+            config.n_hosts,
+            self.costs,
+            config.cpu_scale,
+            config.name_prefix,
+        )
+        if isinstance(config.metrics, MetricsRegistry):
+            self.metrics: Optional[MetricsRegistry] = config.metrics
+        elif config.metrics:
             self.metrics = MetricsRegistry()
         else:
             self.metrics = None
         if self.metrics is not None:
             self.sim.metrics = self.metrics
 
-        if isinstance(topology, str) and topology not in TOPOLOGIES:
-            raise ValueError(
-                f"unknown topology {topology!r} (choose from "
-                f"{', '.join(TOPOLOGIES)} or pass a DaemonNetwork)"
-            )
-        self._topology = topology
         self._messengers = None
         self._mp = None
+        self._mail = None
         self.injector = None
-        if faults is not None:
+        if config.faults is not None:
             from .faults import FaultInjector
 
-            self.injector = FaultInjector(self.network, faults, seed=seed)
+            self.injector = FaultInjector(
+                self.network, config.faults, seed=config.seed
+            )
         self.resilience = None
-        if resilience is not None:
+        if config.resilience is not None:
             from .resilience import ResilienceSuite
 
             self.resilience = ResilienceSuite(
-                self.network, resilience, seed=seed
+                self.network, config.resilience, seed=config.seed
             )
+        if config.mailbox:
+            self._arm_mailbox()
 
     # -- construction of the software layers (lazy) -------------------------
 
     def _daemon_graph(self):
         from .messengers import DaemonNetwork
 
-        if isinstance(self._topology, DaemonNetwork):
-            return self._topology
+        topology = self.config.topology
+        if isinstance(topology, DaemonNetwork):
+            return topology
         names = self.network.host_names
-        if self._topology == "ring":
+        if topology == "ring":
             return DaemonNetwork.ring(names)
         return DaemonNetwork.complete(names)
 
@@ -159,6 +263,35 @@ class Cluster:
             self._mp = MessagePassingSystem(self.network)
         return self._mp
 
+    def _arm_mailbox(self):
+        from .mailbox import (
+            MailboxService,
+            NoDoubleRead,
+            NoLostMail,
+            register_mailbox_natives,
+        )
+
+        service = MailboxService(
+            self.messengers, self.config.mailbox_config()
+        )
+        register_mailbox_natives(service)
+        if self.resilience is not None:
+            self.resilience.add_invariant(NoLostMail(service))
+            self.resilience.add_invariant(NoDoubleRead(service))
+        self._mail = service
+        return service
+
+    @property
+    def mail(self):
+        """The durable mailbox layer (armed on first use).
+
+        Prefer configuring it up front (``ClusterConfig(mailbox=...)``)
+        so invariants and natives are armed before any run starts.
+        """
+        if self._mail is None:
+            self._arm_mailbox()
+        return self._mail
+
     # -- cluster shape -------------------------------------------------------
 
     @property
@@ -179,6 +312,74 @@ class Cluster:
     def now(self) -> float:
         """Current simulated time."""
         return self.sim.now
+
+    # -- host churn ----------------------------------------------------------
+
+    def join_host(
+        self,
+        name: Optional[str] = None,
+        cpu_scale: Optional[float] = None,
+    ):
+        """Add a workstation to the running cluster (churn: join).
+
+        The new host attaches to the shared segment, its daemon links
+        to every current daemon (the LAN rule) and immediately becomes
+        a placement and mail-delivery target.  Re-joining a host that
+        previously left revives it in place.  Returns the new daemon.
+        """
+        from .netsim import Host
+
+        # Materialize the daemon layer from the *current* host set
+        # first: if the new host joined the network before the lazy
+        # build, it would come up with a daemon already running and the
+        # explicit add_daemon below would refuse it.
+        system = self.messengers
+        if name is None:
+            index = len(self.network)
+            taken = set(self.network.host_names)
+            while f"{self.config.name_prefix}{index}" in taken:
+                index += 1
+            name = f"{self.config.name_prefix}{index}"
+        try:
+            host = self.network.host(name)
+        except KeyError:
+            host = Host(
+                self.sim,
+                name,
+                self.costs,
+                cpu_scale=(
+                    cpu_scale
+                    if cpu_scale is not None
+                    else self.config.cpu_scale
+                ),
+            )
+            self.network.add_host(host)
+        return system.add_daemon(host)
+
+    def leave_host(self, name: str) -> None:
+        """Gracefully remove a workstation mid-run (churn: leave).
+
+        Nothing is lost: logical nodes re-home, ready Messengers
+        migrate, in-flight traffic is forwarded, and durable mailboxes
+        follow their nodes.  See
+        :meth:`~repro.messengers.MessengersSystem.retire_daemon`.
+        """
+        self.messengers.retire_daemon(name)
+
+    def schedule(self, at_s: float, fn: Callable[["Cluster"], Any]):
+        """Run ``fn(cluster)`` at simulated time ``at_s`` (churn driver).
+
+        The callback runs as a foreground event, so a scheduled join or
+        leave keeps the run alive until it has happened.
+        """
+
+        def _event():
+            delay = at_s - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            fn(self)
+
+        return self.sim.process(_event())
 
     # -- MESSENGERS-side delegates ------------------------------------------
 
@@ -203,6 +404,17 @@ class Cluster:
         """The persistent logical network."""
         return self.messengers.logical
 
+    def add_node(self, name: str, daemon: Optional[str] = None):
+        """Create a named logical node (a mailbox endpoint, a landmark).
+
+        Placed on ``daemon`` (default: the first host).  Returns the
+        :class:`~repro.messengers.logical.LogicalNode`.
+        """
+        home = daemon if daemon is not None else self.host_names[0]
+        if home not in self.messengers.daemons:
+            raise KeyError(f"unknown daemon {home!r}")
+        return self.messengers.logical.create_node(name, home)
+
     def shell(self):
         """An interactive/programmatic shell bound to this cluster."""
         from .messengers import Shell
@@ -214,6 +426,31 @@ class Cluster:
         from .messengers import Tracer
 
         return Tracer.attach(self.messengers, capacity)
+
+    # -- mailbox delegates ---------------------------------------------------
+
+    def mailbox(self, node):
+        """The durable mailbox of ``node`` (a LogicalNode, uid, or name)."""
+        return self.mail.mailbox(node)
+
+    def send_mail(self, to, body, subject: str = "", frm=None):
+        """Post one mail to ``to``'s mailbox; returns the Mail record."""
+        return self.mail.send(to, body, subject=subject, frm=frm)
+
+    def broadcast(self, body, subject: str = "", frm=None, **kwargs):
+        """Post one mail to every registered mailbox (deduped fan-out)."""
+        return self.mail.broadcast(body, subject=subject, frm=frm, **kwargs)
+
+    def consumer(self, node, handler, poll_interval_s=None):
+        """Attach a poll-mode consumer to ``node``'s mailbox."""
+        return self.mail.consumer(
+            node, handler, poll_interval_s=poll_interval_s
+        )
+
+    @property
+    def mail_stats(self) -> dict:
+        """Mailbox lifecycle counters (empty dict when never armed)."""
+        return dict(self._mail.counts) if self._mail is not None else {}
 
     # -- message-passing-side delegates -------------------------------------
 
@@ -253,12 +490,13 @@ class Cluster:
     def breakdown(self) -> dict:
         """Per-category cost breakdown of the run so far.
 
-        Requires the cluster to have been built with ``metrics=True``.
+        Requires the cluster to have been built with metrics enabled.
         """
         if self.metrics is None:
             raise RuntimeError(
-                "cluster was built without metrics; pass metrics=True "
-                "to repro.cluster(...) to enable the cost ledger"
+                "cluster was built without metrics; set metrics=True on "
+                "the ClusterConfig (or repro.cluster(...)) to enable "
+                "the cost ledger"
             )
         return cost_breakdown(self.metrics, self.sim.now, self.n_tracks)
 
@@ -272,6 +510,8 @@ class Cluster:
             layers.append("messengers")
         if self._mp is not None:
             layers.append("mp")
+        if self._mail is not None:
+            layers.append("mail")
         return (
             f"<Cluster hosts={len(self.network)} "
             f"t={self.sim.now:.6f}s "
@@ -280,12 +520,19 @@ class Cluster:
         )
 
 
-def cluster(n_hosts: int = 4, **kwargs) -> Cluster:
+def cluster(
+    n_hosts: Optional[int] = None,
+    config: Optional[ClusterConfig] = None,
+    **legacy: Any,
+) -> Cluster:
     """Build the paper's platform: ``n_hosts`` workstations on one LAN.
 
-    Keyword arguments are forwarded to :class:`Cluster`.
+    ``repro.cluster(4)`` for the defaults, ``repro.cluster(config=cfg)``
+    for a fully configured platform.  Legacy keyword arguments are
+    folded into a :class:`ClusterConfig` with a DeprecationWarning (see
+    :class:`Cluster`).
     """
-    return Cluster(n_hosts, **kwargs)
+    return Cluster(n_hosts, config=config, **legacy)
 
 
 @dataclass
@@ -311,88 +558,88 @@ class ExperimentResult:
 
 
 class Experiment:
-    """Fluent builder for measured runs.
+    """Fluent builder for measured runs, backed by a ClusterConfig.
 
-    ::
+    Every builder step returns ``self``; ``.build()`` materializes the
+    cluster and ``.run(body)`` measures one ``body(cluster)`` call.
+    Write the body as a function — statements, not an ``and``-chain::
+
+        def body(c):
+            c.inject(SCRIPT)
+            return c.run_to_quiescence()
 
         result = (
             repro.Experiment()
             .hosts(8)
             .topology("ring")
             .metrics()
-            .run(body)          # body(cluster) -> value
+            .run(body)
         )
     """
 
-    def __init__(self):
-        self._n_hosts = 4
-        self._topology: Any = "ethernet"
-        self._costs: Optional[CostModel] = None
-        self._cpu_scale = 1.0
-        self._metrics: Union[bool, MetricsRegistry] = False
-        self._faults: Any = None
-        self._seed = 0
-        self._resilience: Any = None
-        self._name_prefix = "host"
+    def __init__(self, config: Optional[ClusterConfig] = None):
+        self._config = config if config is not None else ClusterConfig()
 
     # -- builder steps (each returns self) ----------------------------------
 
+    def config(self, config: ClusterConfig) -> "Experiment":
+        """Replace the accumulated configuration wholesale."""
+        self._config = config
+        return self
+
     def hosts(self, n: int) -> "Experiment":
-        self._n_hosts = n
+        self._config = replace(self._config, n_hosts=n)
         return self
 
     def topology(self, shape: Any) -> "Experiment":
-        self._topology = shape
+        self._config = replace(self._config, topology=shape)
         return self
 
     def costs(self, costs: CostModel) -> "Experiment":
-        self._costs = costs
+        self._config = replace(self._config, costs=costs)
         return self
 
     def cpu_scale(self, scale: float) -> "Experiment":
-        self._cpu_scale = scale
+        self._config = replace(self._config, cpu_scale=scale)
         return self
 
     def metrics(
         self, registry: Union[bool, MetricsRegistry] = True
     ) -> "Experiment":
-        self._metrics = registry
+        self._config = replace(self._config, metrics=registry)
         return self
 
     def faults(self, plan: Any) -> "Experiment":
         """Attach a :class:`~repro.faults.FaultPlan` to the run."""
-        self._faults = plan
+        self._config = replace(self._config, faults=plan)
         return self
 
     def seed(self, seed: int) -> "Experiment":
         """Root seed for the fault plan's random streams."""
-        self._seed = seed
+        self._config = replace(self._config, seed=seed)
         return self
 
     def resilience(self, policy: Any) -> "Experiment":
         """Arm a :class:`~repro.resilience.ResiliencePolicy` on the run."""
-        self._resilience = policy
+        self._config = replace(self._config, resilience=policy)
+        return self
+
+    def mailbox(
+        self, config: Union[bool, MailboxConfig] = True
+    ) -> "Experiment":
+        """Arm the durable mailbox layer on the run."""
+        self._config = replace(self._config, mailbox=config)
         return self
 
     def name_prefix(self, prefix: str) -> "Experiment":
-        self._name_prefix = prefix
+        self._config = replace(self._config, name_prefix=prefix)
         return self
 
     # -- terminal steps ------------------------------------------------------
 
     def build(self) -> Cluster:
         """Materialize the cluster without running anything."""
-        return Cluster(
-            self._n_hosts,
-            topology=self._topology,
-            costs=self._costs,
-            cpu_scale=self._cpu_scale,
-            metrics=self._metrics,
-            faults=self._faults,
-            seed=self._seed,
-            resilience=self._resilience,
-            name_prefix=self._name_prefix,
-        )
+        return Cluster(config=self._config)
 
     def run(self, body: Callable[[Cluster], Any]) -> ExperimentResult:
         """Build the cluster, run ``body(cluster)``, collect the results.

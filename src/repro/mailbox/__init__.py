@@ -1,0 +1,21 @@
+"""repro.mailbox — durable daemon-routed mailboxes with a delivery
+lifecycle (``sent -> delivered -> seen -> processed -> read``),
+broadcast with per-recipient dedup, poll-mode consumers, and the
+invariants that keep the exactly-once story honest under faults and
+churn.  See DESIGN.md row 14 and the "Mailboxes & churn" section of the
+README."""
+
+from .core import LIFECYCLE, Mail, Mailbox, MailboxConfig, MailboxService
+from .invariants import NoDoubleRead, NoLostMail
+from .natives import register_mailbox_natives
+
+__all__ = [
+    "LIFECYCLE",
+    "Mail",
+    "Mailbox",
+    "MailboxConfig",
+    "MailboxService",
+    "NoDoubleRead",
+    "NoLostMail",
+    "register_mailbox_natives",
+]

@@ -1,0 +1,111 @@
+"""Mailbox invariants: what a faulty run must never do to the mail.
+
+Wired into :class:`repro.resilience.InvariantMonitor` like any other
+invariant, so the schedule searcher can attack the delivery lifecycle:
+
+* :class:`NoLostMail` — every mail ever sent is either still in the
+  in-flight ledger (run time) or delivered (end of run); delivery
+  counters balance against sends.  A crash, a retired daemon, or a
+  dropped packet may *delay* mail, never destroy it.
+* :class:`NoDoubleRead` — no mail is read twice, and no broadcast is
+  delivered twice to the same recipient: the at-least-once replay
+  machinery must be invisible through the exactly-once API.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..resilience import Invariant
+from .core import LIFECYCLE, MailboxService
+
+__all__ = ["NoDoubleRead", "NoLostMail"]
+
+_DELIVERED = LIFECYCLE.index("delivered")
+
+
+class NoLostMail(Invariant):
+    """Sent mail is never silently destroyed.
+
+    During the run: every mail below ``delivered`` is accounted for in
+    the in-flight ledger (it can still be replayed), and the service's
+    counters balance (``delivered + duplicates == arrivals <= sends +
+    replays``).  At the end: the ledger is empty and every mail ever
+    sent reached at least ``delivered``.
+    """
+
+    name = "no-lost-mail"
+
+    def __init__(self, service: MailboxService):
+        self.service = service
+
+    def check(self, now: float) -> Optional[str]:
+        pending = self.service._pending
+        for box in self.service._boxes.values():
+            for mail in box.mails:
+                if mail.stage < _DELIVERED and mail.id not in pending:
+                    return (
+                        f"mail #{mail.id} is below 'delivered' but "
+                        "missing from the in-flight ledger — it can "
+                        "never be replayed"
+                    )
+        counts = self.service.counts
+        delivered = counts.get("delivered", 0)
+        sent = counts.get("sent", 0)
+        if delivered > sent:
+            return (
+                f"{delivered} deliveries but only {sent} sends — "
+                "mail was conjured from nowhere"
+            )
+        return None
+
+    def check_final(self, now: float) -> Optional[str]:
+        problem = self.check(now)
+        if problem is not None:
+            return problem
+        stuck = sorted(self.service._pending)
+        if stuck:
+            return (
+                f"{len(stuck)} mail(s) still undelivered at the end of "
+                f"the run (ids {stuck[:5]}...)"
+                if len(stuck) > 5
+                else f"{len(stuck)} mail(s) still undelivered at the "
+                f"end of the run (ids {stuck})"
+            )
+        for box in self.service._boxes.values():
+            for mail in box.mails:
+                if mail.stage < _DELIVERED:  # pragma: no cover - defense
+                    return f"mail #{mail.id} never reached 'delivered'"
+        return None
+
+
+class NoDoubleRead(Invariant):
+    """The exactly-once surface: one read per mail, one delivery per
+    broadcast per recipient, no matter how many copies the replay and
+    retransmit machinery produced underneath."""
+
+    name = "no-double-read"
+
+    def __init__(self, service: MailboxService):
+        self.service = service
+
+    def check(self, now: float) -> Optional[str]:
+        for box in self.service._boxes.values():
+            bcasts: set[int] = set()
+            for mail in box.mails:
+                if mail.read_count > 1:
+                    return (
+                        f"mail #{mail.id} read {mail.read_count} times "
+                        f"from mailbox uid{box.node.uid}"
+                    )
+                if mail.bcast_id is not None:
+                    if mail.bcast_id in bcasts:
+                        return (
+                            f"broadcast {mail.bcast_id} delivered twice "
+                            f"to mailbox uid{box.node.uid}"
+                        )
+                    bcasts.add(mail.bcast_id)
+        log = self.service._read_log
+        if len(set(log)) != len(log):
+            return "the read log contains a duplicate (node, mail) pair"
+        return None

@@ -1,0 +1,78 @@
+"""MCL natives for the mailbox layer: M_send / M_recv / M_ack / M_inbox.
+
+Messenger scripts talk to mailboxes through native-mode functions, the
+same escape hatch the paper uses for "precompiled C functions" (§2.1).
+A Messenger always acts *as its current node*: ``M_send`` posts from
+the node it sits on, ``M_recv`` pops that node's own mailbox.
+
+::
+
+    worker() {
+        while (M_inbox() > 0) {
+            task = M_recv();      /* marks the mail seen   */
+            /* ... work ...      */
+            M_ack();              /* processed + read      */
+        }
+    }
+
+``M_recv`` returns the mail body (0 when the mailbox has nothing
+unseen) and remembers the mail per Messenger so a following ``M_ack``
+completes its lifecycle.  Un-acked receives are deliberately visible:
+the mail stays below ``read`` and the ``no-lost-mail`` style audits in
+the tests can flag abandoned conversations.
+"""
+
+from __future__ import annotations
+
+from .core import MailboxService
+
+__all__ = ["register_mailbox_natives"]
+
+
+def register_mailbox_natives(service: MailboxService) -> None:
+    """Install the mailbox natives into the owning system's registry."""
+    registry = service.system.natives
+    #: Messenger id -> the mail its last M_recv returned (awaiting ack).
+    current: dict[int, object] = {}
+
+    def m_send(env, to, body, subject=""):
+        mail = service.send(to, body, subject=str(subject), frm=env.node)
+        env.charge_memcpy(mail.size_bytes)
+        return mail.id
+
+    def m_bcast(env, body, subject=""):
+        mails = service.broadcast(body, subject=str(subject), frm=env.node)
+        for mail in mails:
+            env.charge_memcpy(mail.size_bytes)
+        return len(mails)
+
+    def m_recv(env):
+        box = service.mailbox(env.node)
+        unseen = box.unseen()
+        if not unseen:
+            return 0
+        mail = unseen[0]
+        box.mark_seen(mail)
+        # Remember the box too: the Messenger may hop before acking,
+        # and the ack must complete the lifecycle where the mail lives.
+        current[env.messenger.id] = (box, mail)
+        env.charge_memcpy(mail.size_bytes)
+        return mail.body
+
+    def m_ack(env):
+        entry = current.pop(env.messenger.id, None)
+        if entry is None:
+            return 0
+        box, mail = entry
+        box.mark_processed(mail)
+        box.read(mail)
+        return 1
+
+    def m_inbox(env):
+        return len(service.mailbox(env.node).unseen())
+
+    registry.register(m_send, name="M_send")
+    registry.register(m_bcast, name="M_bcast")
+    registry.register(m_recv, name="M_recv")
+    registry.register(m_ack, name="M_ack")
+    registry.register(m_inbox, name="M_inbox")

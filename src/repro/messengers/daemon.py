@@ -52,6 +52,7 @@ class DaemonStats:
     hops_out_local: int = 0
     hops_out_remote: int = 0
     arrivals: int = 0
+    forwarded: int = 0  # arrivals re-routed away by a retired daemon
     messengers_finished: int = 0
     messengers_lost: int = 0  # hop matched no destination
     nodes_created: int = 0
@@ -74,6 +75,11 @@ class Daemon:
         #: down; cleared on restart.  A dead daemon neither receives nor
         #: dispatches Messengers.
         self.dead = False
+        #: Set by :meth:`MessengersSystem.retire_daemon` (graceful host
+        #: leave).  The host stays physically alive so late arrivals can
+        #: still land here, but the daemon only *forwards* them to their
+        #: nodes' new homes — it never executes anything again.
+        self.retired = False
         #: The permanent ``init`` node anchored on this daemon (§2.1).
         self.init_node: Optional[LogicalNode] = None
         self.sim.process(self._arrival_pump(), daemon=True)
@@ -99,6 +105,9 @@ class Daemon:
             packet = yield port.get()
             kind, data = packet.payload
             metrics = self.sim.obs
+            if self.retired:
+                yield from self._forward(packet, kind, data, costs)
+                continue
             if kind == "messenger":
                 messenger = data
                 yield self.sim.process(
@@ -145,6 +154,58 @@ class Daemon:
                 self.enqueue_ready(messenger)
             else:  # pragma: no cover - internal protocol
                 raise RuntimeError(f"bad daemon packet kind {kind!r}")
+
+    def _forward(self, packet: Packet, kind, data, costs):
+        """A retired daemon re-routes late arrivals instead of executing.
+
+        A "messenger" packet chases its node's new home (retirement
+        re-homed every resident node before the graph tombstone went
+        in); a "create" request is re-aimed at the first live daemon in
+        graph order — deterministic, and acceptable as a placement
+        change under churn.  With no live daemon left the Messenger is
+        recorded lost, exactly like a hop that matches nothing.
+        """
+        messenger = data if kind == "messenger" else data[0]
+        if not messenger.alive:
+            return
+        if kind == "messenger":
+            target = messenger.node.daemon
+        else:
+            target = next(
+                (
+                    name
+                    for name in self.system.daemon_graph.daemons
+                    if not self.system.daemons[name].dead
+                    and not self.system.daemons[name].retired
+                ),
+                None,
+            )
+        if target is None or target == self.name:
+            self.stats.messengers_lost += 1
+            self.system.trace(
+                messenger, "lost", self.name,
+                "arrived at retired daemon with no live forward target",
+            )
+            self.system.messenger_done(messenger, lost=True)
+            return
+        yield self.sim.process(
+            self.host.busy(
+                costs.hop_dispatch_s,
+                category="dispatch",
+                label="hop.forward",
+            )
+        )
+        self.stats.forwarded += 1
+        if self.sim.obs is not None:
+            self.sim.obs.count("messengers.forwarded")
+        self.system.trace(messenger, "forward", self.name, f"-> {target}")
+        self.system.network.enqueue(Packet(
+            src=self.name,
+            dst=target,
+            port=self.port_name,
+            payload=packet.payload,
+            size_bytes=packet.size_bytes,
+        ))
 
     def _interpreter_loop(self):
         """Pop ready Messengers and run each to its next preemption point.
@@ -392,7 +453,7 @@ class Daemon:
                 for c in self.system.daemon_graph.matches(
                     self.name, item.dn, item.dl, item.ddir
                 )
-                if not daemons[c].dead
+                if not daemons[c].dead and not daemons[c].retired
             ]
             if not candidates:
                 continue

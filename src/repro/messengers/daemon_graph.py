@@ -79,6 +79,39 @@ class DaemonNetwork:
             )
         return network
 
+    # -- churn -----------------------------------------------------------------
+
+    def add_daemon(self, name: str) -> None:
+        """Admit a new daemon with no links yet (host churn: join).
+
+        Re-admitting a previously removed daemon revives its (empty)
+        adjacency entry.  The caller wires links afterwards —
+        :meth:`MessengersSystem.add_daemon` connects a joiner to every
+        current daemon, the LAN rule.
+        """
+        if name in self._daemons:
+            raise ValueError(f"daemon {name!r} already in the graph")
+        self._daemons.append(name)
+        self._adjacency.setdefault(name, [])
+
+    def remove_daemon(self, name: str) -> None:
+        """Retire ``name`` from the graph (host churn: leave).
+
+        All of its links are severed and it stops being a placement
+        candidate, but its adjacency entry survives as an empty
+        tombstone: a Messenger still executing *on* the leaving daemon
+        can resolve ``create`` matches (to an empty candidate set)
+        without a KeyError while it migrates away.
+        """
+        if name not in self._adjacency:
+            raise KeyError(f"unknown daemon {name!r}")
+        self._daemons = [d for d in self._daemons if d != name]
+        for links in self._adjacency.values():
+            links[:] = [
+                link for link in links
+                if link.src != name and link.dst != name
+            ]
+
     # -- queries --------------------------------------------------------------
 
     @property

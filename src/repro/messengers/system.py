@@ -97,6 +97,9 @@ class MessengersSystem:
         self.script_errors: list[Exception] = []
         #: Optional :class:`~repro.messengers.trace.Tracer`.
         self.tracer = None
+        #: Optional :class:`~repro.mailbox.MailboxService` — set by the
+        #: service itself so churn events reach the durable mail layer.
+        self.mailboxes = None
         self._placement_rotation: dict[str, itertools.cycle] = {}
         self._program_cache: dict[tuple, Program] = {}
         #: Hop-boundary checkpoints by messenger id (crash recovery).
@@ -187,6 +190,10 @@ class MessengersSystem:
             target_daemon = self.daemons[daemon_name]
         except KeyError:
             raise KeyError(f"unknown daemon {daemon_name!r}") from None
+        if target_daemon.retired:
+            raise ValueError(
+                f"daemon {daemon_name!r} has left the cluster"
+            )
 
         candidates = [
             n
@@ -441,7 +448,11 @@ class MessengersSystem:
         # Logical-network repair: re-home the dead daemon's nodes onto
         # the survivors so existing links keep routing (§2.1's logical
         # network stays intact while the physical node is gone).
-        alive = [d for d in self.daemon_names if not self.daemons[d].dead]
+        alive = [
+            d
+            for d in self.daemon_names
+            if not self.daemons[d].dead and not self.daemons[d].retired
+        ]
         if alive:
             dead_nodes = self.logical.nodes_on(name)
             for index, node in enumerate(dead_nodes):
@@ -496,7 +507,7 @@ class MessengersSystem:
                 for c in self.daemon_graph.matches(
                     checkpoint.holder, item.dn, item.dl, item.ddir
                 )
-                if not self.daemons[c].dead
+                if not self.daemons[c].dead and not self.daemons[c].retired
             ]
             if not candidates:
                 if faults is not None:
@@ -542,6 +553,106 @@ class MessengersSystem:
         faults = self.network.faults
         if faults is not None:
             faults.count("daemon_restarts")
+
+    # -- host churn (graceful join / leave) ------------------------------------
+
+    def add_daemon(self, host) -> Daemon:
+        """Admit ``host`` as a new daemon mid-run (churn: join).
+
+        The host must already be attached to the network
+        (:meth:`~repro.netsim.Network.add_host`).  Following the LAN
+        rule the joiner is linked to every current daemon, gets its own
+        ``init`` anchor, and immediately becomes a placement candidate.
+        Re-admitting a previously retired daemon revives it in place.
+        """
+        name = host.name
+        daemon = self.daemons.get(name)
+        if daemon is not None and not daemon.retired:
+            raise ValueError(f"daemon {name!r} is already running")
+        peers = [
+            d for d in self.daemon_graph.daemons
+            if not self.daemons[d].retired
+        ]
+        self.daemon_graph.add_daemon(name)
+        for other in peers:
+            self.daemon_graph.add_link(name, other)
+        if daemon is None:
+            daemon = Daemon(self, host)
+            self.daemons[name] = daemon
+        else:
+            daemon.retired = False
+        if daemon.init_node is None or daemon.init_node.daemon != name:
+            daemon.init_node = self.logical.create_node("init", name)
+        self._placement_rotation.clear()
+        faults = self.network.faults
+        if faults is not None:
+            faults.count("daemons_joined")
+        if self.mailboxes is not None:
+            self.mailboxes.on_daemon_joined(name)
+        return daemon
+
+    def retire_daemon(self, name: str) -> None:
+        """Gracefully remove daemon ``name`` mid-run (churn: leave).
+
+        Unlike a crash nothing is lost: the leaving daemon's logical
+        nodes are re-homed round-robin onto the survivors, its ready
+        Messengers migrate with their nodes, and the daemon itself
+        stays behind as a forwarder — late arrivals (packets already in
+        flight toward it) are re-routed to their nodes' new homes by
+        the retired arrival pump.  Mid-slice Messengers finish their
+        burst and hop out normally; a ``create`` issued from the
+        retired daemon matches nothing (its graph entry is a tombstone)
+        and is recorded lost, like any unmatched navigation.
+        """
+        daemon = self.daemons.get(name)
+        if daemon is None:
+            raise KeyError(f"unknown daemon {name!r}")
+        if daemon.dead:
+            raise ValueError(f"daemon {name!r} is crashed, not retirable")
+        if daemon.retired:
+            return
+        survivors = [
+            d
+            for d in self.daemon_names
+            if d != name
+            and not self.daemons[d].dead
+            and not self.daemons[d].retired
+        ]
+        if not survivors:
+            raise ValueError(
+                f"cannot retire {name!r}: no live daemon would remain"
+            )
+        faults = self.network.faults
+
+        # Re-home every resident node, then carry its ready Messengers
+        # over — after this no *new* traffic targets the leaver, and the
+        # retired pump forwards whatever was already on the wire.
+        moved_nodes = self.logical.nodes_on(name)
+        for index, node in enumerate(moved_nodes):
+            node.daemon = survivors[index % len(survivors)]
+        daemon.retired = True
+        self.daemon_graph.remove_daemon(name)
+        self._placement_rotation.clear()
+        migrated = 0
+        for messenger in daemon.ready.clear():
+            if not messenger.alive:
+                continue
+            target = (
+                messenger.node.daemon
+                if messenger.node is not None
+                else survivors[0]
+            )
+            self.trace(messenger, "migrate", name, f"-> {target}")
+            self.daemons[target].enqueue_ready(messenger)
+            migrated += 1
+        if faults is not None:
+            faults.count("daemons_retired")
+            if moved_nodes:
+                faults.count("nodes_rehomed", len(moved_nodes))
+            if migrated:
+                faults.count("messengers_migrated", migrated)
+        if self.mailboxes is not None:
+            self.mailboxes.on_daemon_retired(name)
 
     def choose_daemon(self, from_daemon: str, candidates: list) -> str:
         """Placement rule for non-ALL create: rotate over candidates.

@@ -88,11 +88,13 @@ class ConservativeVirtualTime:
             self._system.sim.process(self._round())
 
     def _round_delay(self) -> float:
-        # Crashed daemons are excluded from the cut: the survivors only
-        # exchange timing information among themselves.
+        # Crashed and retired daemons are excluded from the cut: the
+        # survivors only exchange timing information among themselves.
         costs = self._system.costs
         n = sum(
-            1 for d in self._system.daemons.values() if not d.dead
+            1
+            for d in self._system.daemons.values()
+            if not d.dead and not d.retired
         )
         return costs.gvt_round_s * max(n, 1) + 2 * costs.wire_latency_s
 
@@ -130,9 +132,10 @@ class ConservativeVirtualTime:
             _wake, _seq, messenger, daemon = heapq.heappop(self._pending)
             if not messenger.alive:
                 continue
-            if daemon.dead and messenger.node is not None:
-                # The suspending daemon died and the Messenger's node
-                # was re-homed: wake it where the node lives now.
+            if (daemon.dead or daemon.retired) and messenger.node is not None:
+                # The suspending daemon died (or left) and the
+                # Messenger's node was re-homed: wake it where the node
+                # lives now.
                 daemon = self._system.daemons[messenger.node.daemon]
             messenger.vt = wake_time
             messenger.suspended = False

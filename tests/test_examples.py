@@ -68,6 +68,19 @@ class TestExamples:
         assert "injected messenger" in out
         assert "gvt=10" in out
 
+    def test_agent_team(self):
+        out = run_example("agent_team.py")
+        assert "lead <- worker1: done: parse" in out
+        assert "lead <- worker2: done: report" in out
+        assert "4 reports, 8 mails read" in out
+
+    def test_agent_team_uses_typed_config(self):
+        # The mailbox example is the front door for the typed-config
+        # API: ClusterConfig + MailboxConfig, no legacy kwargs.
+        source = (EXAMPLES / "agent_team.py").read_text()
+        assert "repro.ClusterConfig(" in source
+        assert "repro.MailboxConfig(" in source
+
     def test_swarm_simulation(self):
         out = run_example("swarm_simulation.py", "12")
         assert "founders" in out

@@ -40,7 +40,7 @@ class TestCluster:
         assert c.now > 0
 
     def test_shape(self):
-        c = repro.cluster(3, name_prefix="ws")
+        c = repro.cluster(3, config=repro.ClusterConfig(name_prefix="ws"))
         assert len(c) == 3
         assert c.host_names == ["ws0", "ws1", "ws2"]
         assert c.host("ws1").name == "ws1"
@@ -67,7 +67,9 @@ class TestCluster:
         assert c.messengers.network is c.mp.network
 
     def test_ring_topology(self):
-        c = repro.cluster(4, topology="ring")
+        c = repro.cluster(config=repro.ClusterConfig(
+            n_hosts=4, topology="ring"
+        ))
         graph = c.messengers.daemon_graph
         # In a 4-ring each daemon has exactly 2 neighbours.
         for name in c.host_names:
@@ -82,19 +84,19 @@ class TestCluster:
     def test_prebuilt_daemon_network(self):
         base = repro.cluster(3)
         graph = repro.DaemonNetwork.ring(base.host_names)
-        c = repro.Cluster(3, topology=graph)
+        c = repro.Cluster(3, config=repro.ClusterConfig(topology=graph))
         assert c.messengers.daemon_graph is graph
 
     def test_unknown_topology_rejected(self):
         with pytest.raises(ValueError):
-            repro.cluster(2, topology="torus")
+            repro.ClusterConfig(topology="torus")
 
     def test_custom_costs(self):
         from dataclasses import replace
 
         slow = replace(repro.DEFAULT_COSTS, hop_dispatch_s=10e-3)
         fast = repro.cluster(2)
-        slowc = repro.cluster(2, costs=slow)
+        slowc = repro.cluster(2, config=repro.ClusterConfig(costs=slow))
         _run_hello(fast)
         _run_hello(slowc)
         assert slowc.now > fast.now
@@ -119,7 +121,7 @@ class TestClusterMetrics:
             c.breakdown()
 
     def test_metrics_true_builds_registry(self):
-        c = repro.cluster(2, metrics=True)
+        c = repro.cluster(2, config=repro.ClusterConfig(metrics=True))
         _run_hello(c)
         assert c.snapshot()["des.events_executed"] > 0
         breakdown = c.breakdown()
@@ -132,7 +134,7 @@ class TestClusterMetrics:
 
     def test_metrics_accepts_registry(self):
         registry = repro.MetricsRegistry(opcode_counts=True)
-        c = repro.cluster(2, metrics=registry)
+        c = repro.cluster(2, config=repro.ClusterConfig(metrics=registry))
         assert c.metrics is registry
         _run_hello(c)
         assert any("opcode=" in name for name in registry.snapshot())
@@ -165,10 +167,181 @@ class TestExperiment:
         assert c.host_names[0] == "n0"
 
 
+class TestClusterConfig:
+    def test_defaults(self):
+        config = repro.ClusterConfig()
+        assert config.n_hosts == 4
+        assert config.topology == "ethernet"
+        assert config.mailbox is None
+
+    def test_rejects_bad_host_count(self):
+        with pytest.raises(ValueError, match="at least one host"):
+            repro.ClusterConfig(n_hosts=0)
+
+    def test_explicit_n_hosts_overrides_config(self):
+        c = repro.Cluster(6, config=repro.ClusterConfig(n_hosts=2))
+        assert len(c) == 6
+
+    def test_is_frozen(self):
+        config = repro.ClusterConfig()
+        with pytest.raises(Exception):
+            config.n_hosts = 9
+
+    def test_mailbox_config_helper(self):
+        assert repro.ClusterConfig(
+            mailbox=True
+        ).mailbox_config() == repro.MailboxConfig()
+        custom = repro.MailboxConfig(poll_interval_s=0.5)
+        assert repro.ClusterConfig(
+            mailbox=custom
+        ).mailbox_config() is custom
+
+    def test_mailbox_armed_eagerly_from_config(self):
+        c = repro.Cluster(config=repro.ClusterConfig(n_hosts=2,
+                                                     mailbox=True))
+        assert c._mail is not None
+        assert c.mail.config == repro.MailboxConfig()
+
+
+class TestDeprecationShims:
+    """Pre-1.3 keyword call sites keep working, loudly."""
+
+    def test_legacy_kwargs_warn_and_fold_into_config(self):
+        with pytest.warns(DeprecationWarning, match="ClusterConfig"):
+            c = repro.cluster(3, topology="ring", name_prefix="ws")
+        assert c.config.topology == "ring"
+        assert c.host_names == ["ws0", "ws1", "ws2"]
+
+    def test_legacy_cluster_class_warns_too(self):
+        with pytest.warns(DeprecationWarning):
+            c = repro.Cluster(2, metrics=True)
+        assert c.metrics is not None
+
+    def test_unknown_kwarg_is_an_error(self):
+        with pytest.raises(TypeError, match="unknown Cluster arguments"):
+            repro.cluster(2, topologee="ring")
+
+    def test_config_plus_legacy_is_an_error(self):
+        with pytest.raises(TypeError, match="not both"):
+            repro.cluster(
+                2, config=repro.ClusterConfig(), topology="ring"
+            )
+
+
+class TestMailboxFacade:
+    def test_mail_layer_is_lazy(self):
+        c = repro.cluster(2)
+        assert c._mail is None
+        assert c.mail_stats == {}
+        c.mail
+        assert c._mail is not None
+
+    def test_send_and_consume_through_the_facade(self):
+        c = repro.cluster(config=repro.ClusterConfig(
+            n_hosts=2, mailbox=repro.MailboxConfig(poll_interval_s=0.01)
+        ))
+        got = []
+        node = c.add_node("inbox", daemon="host1")
+        c.consumer(node, lambda mail: got.append(mail.body))
+        c.send_mail("inbox", "ping")
+        c.broadcast("pong")
+        c.run_to_quiescence()
+        assert sorted(got) == ["ping", "pong"]
+        assert c.mail_stats["read"] == 2
+        assert "mail" in repr(c)
+
+    def test_mailbox_invariants_armed_with_resilience(self):
+        from repro.resilience import ResiliencePolicy
+
+        c = repro.Cluster(config=repro.ClusterConfig(
+            n_hosts=2, mailbox=True, resilience=ResiliencePolicy()
+        ))
+        names = [
+            invariant.name
+            for invariant in c.resilience.monitor.invariants
+        ]
+        assert "no-lost-mail" in names
+        assert "no-double-read" in names
+
+
+class TestChurnFacade:
+    def test_join_host_names_itself(self):
+        c = repro.cluster(2)
+        daemon = c.join_host()
+        assert daemon.name == "host2"
+        assert "host2" in c.host_names
+        assert "host2" in c.messengers.daemons
+
+    def test_leave_then_rejoin_revives_in_place(self):
+        c = repro.cluster(3)
+        c.messengers  # build the daemon layer
+        c.leave_host("host1")
+        assert c.messengers.daemons["host1"].retired
+        c.join_host("host1")
+        assert not c.messengers.daemons["host1"].retired
+
+    def test_schedule_runs_at_simulated_time(self):
+        c = repro.cluster(2)
+        fired = []
+        c.schedule(0.25, lambda c: fired.append(c.now))
+        c.run()
+        assert fired == [pytest.approx(0.25)]
+
+    def test_add_node_rejects_unknown_daemon(self):
+        c = repro.cluster(2)
+        with pytest.raises(KeyError):
+            c.add_node("peer", daemon="nonexistent")
+
+
+class TestExperimentBuilderAudit:
+    """Every builder step returns the same Experiment instance."""
+
+    def test_every_step_returns_self(self):
+        from repro.resilience import ResiliencePolicy
+
+        experiment = repro.Experiment()
+        steps = [
+            ("config", (repro.ClusterConfig(),)),
+            ("hosts", (3,)),
+            ("topology", ("ring",)),
+            ("costs", (repro.DEFAULT_COSTS,)),
+            ("cpu_scale", (2.0,)),
+            ("metrics", ()),
+            ("faults", (repro.FaultPlan(),)),
+            ("seed", (5,)),
+            ("resilience", (ResiliencePolicy(),)),
+            ("mailbox", ()),
+            ("name_prefix", ("n",)),
+        ]
+        for name, args in steps:
+            assert getattr(experiment, name)(*args) is experiment, name
+
+    def test_experiment_config_and_mailbox_steps(self):
+        c = (
+            repro.Experiment()
+            .config(repro.ClusterConfig(n_hosts=2))
+            .mailbox(repro.MailboxConfig(poll_interval_s=0.02))
+            .build()
+        )
+        assert len(c) == 2
+        assert c.mail.config.poll_interval_s == 0.02
+
+
 class TestTopLevelExports:
     def test_facade_names(self):
-        for name in ("cluster", "Cluster", "Experiment", "ExperimentResult"):
+        for name in (
+            "cluster", "Cluster", "ClusterConfig", "Experiment",
+            "ExperimentResult",
+        ):
             assert hasattr(repro, name)
+
+    def test_mailbox_names(self):
+        for name in (
+            "Mail", "Mailbox", "MailboxConfig", "MailboxService",
+            "NoLostMail", "NoDoubleRead",
+        ):
+            assert hasattr(repro, name)
+            assert name in repro.__all__
 
     def test_layer_names(self):
         for name in (
