@@ -1,0 +1,102 @@
+"""SERVICE-PERF — the service bench versus ``BENCH_service.json``.
+
+Two guards with different portability, same contract as the other
+perf suites:
+
+* The *simulated* side (goodput, outcome counts, latency percentiles,
+  the event-trace digest of every scenario, the schedule-search
+  verdict) is deterministic — it must match the committed blob
+  bit-for-bit on any host.  The quick gate replays only the
+  below-saturation offered-load point (one run per system, well under
+  a second); the full-grid comparison rides along with the wall gate.
+* ``requests_per_sec`` is wall-clock; the smoke gate allows a 25%
+  regression against the committed number before failing, plus a
+  loose absolute floor that catches catastrophic slowdowns (an
+  accidental O(n^2), a debug path left on) on any machine.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.service_experiments import (
+    BASELINE,
+    BELOW_RPS,
+    run_service_bench,
+    run_service_scenario,
+)
+
+BENCH_SERVICE = Path(__file__).resolve().parents[1] / "BENCH_service.json"
+
+_SIMULATED_KEYS = ("goodput_rps", "latency_ms", "outcomes", "trace_digest")
+
+
+def _blob():
+    if not hasattr(_blob, "cached"):
+        _blob.cached = run_service_bench(repeats=2)
+    return _blob.cached
+
+
+def test_committed_blob_matches_module_baseline():
+    committed = json.loads(BENCH_SERVICE.read_text())
+    assert committed["baseline"] == BASELINE, (
+        "BENCH_service.json is out of sync with "
+        "repro.bench.service_experiments.BASELINE — regenerate it with "
+        "`python -m repro bench service --out BENCH_service.json`"
+    )
+
+
+def test_below_saturation_point_is_bit_identical_to_committed(show):
+    # The cheap trace-divergence gate: one below-saturation run per
+    # system, compared field-for-field (including the whole-run event
+    # digest) against the committed blob.
+    committed = json.loads(BENCH_SERVICE.read_text())
+    for system in ("messengers", "pvm"):
+        pinned = committed["current"]["scenarios"][f"{system}/below"]
+        current = run_service_scenario(system, BELOW_RPS)
+        for key in _SIMULATED_KEYS:
+            assert current[key] == pinned[key], (
+                f"{system}/below: simulated {key} diverged from the "
+                f"committed BENCH_service.json ({current[key]!r} vs "
+                f"{pinned[key]!r}) — the service path changed behaviour"
+            )
+        show(
+            f"{system:<11} goodput={current['goodput_rps']:.1f} rps "
+            f"p99={current['latency_ms']['p99']:.1f}ms "
+            f"digest={current['trace_digest'][:12]} (matches committed)"
+        )
+
+
+def test_full_grid_stays_identical_and_search_stays_clean(show):
+    blob = _blob()
+    assert blob["vs_baseline"]["simulated_identical"], (
+        "service bench simulated results diverged from BASELINE — "
+        "compare against BENCH_service.json to see which scenario moved"
+    )
+    search = blob["current"]["search"]
+    assert search["clean"], search["violations"]
+    assert search["schedules_run"] >= 100
+    for system, verdict in sorted(blob["current"]["verdicts"].items()):
+        assert verdict["stable_brownout"], (system, verdict)
+        assert verdict["collapse_demonstrated"], (system, verdict)
+        show(
+            f"{system:<11} peak={verdict['peak_goodput_rps']:.1f} rps "
+            f"brownout={verdict['brownout_fraction']:.2f} "
+            f"collapse={verdict['collapse_fraction']:.2f}"
+        )
+
+
+def test_wall_throughput_within_25pct_of_committed(show):
+    committed = json.loads(BENCH_SERVICE.read_text())
+    pinned = committed["baseline"]["requests_per_sec"]
+    measured = _blob()["current"]["requests_per_sec"]
+    show(
+        f"service requests: {measured:,.0f}/s wall "
+        f"(committed {pinned:,.0f}/s, ratio {measured / pinned:.2f})"
+    )
+    assert measured >= 0.75 * pinned, (
+        f"service wall throughput regressed >25% against the committed "
+        f"BENCH_service.json baseline ({measured:,.0f}/s vs "
+        f"{pinned:,.0f}/s)"
+    )
+    # Loose absolute floor: catches disasters regardless of host speed.
+    assert measured > 500

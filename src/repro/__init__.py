@@ -39,6 +39,12 @@ Subpackages
     supervision restart policies, transport flow control, in-run
     invariant checkers, and a fault-schedule searcher that shrinks
     violations to minimal reproducers.
+``repro.service``
+    Open-system service workloads: deadline-carrying requests under
+    Poisson/bursty/diurnal open-loop arrivals, served by per-request
+    Messengers or PVM-style RPC, behind a graceful-degradation stack
+    (admission control, retry budgets, circuit breakers, load
+    shedding) with "no request lost silently" invariants.
 ``repro.obs``
     Cross-cutting observability: metrics, the virtual-time cost
     ledger, Chrome-trace/JSONL exporters.
@@ -111,8 +117,9 @@ from .resilience import (
     ScheduleSearcher,
     WorkLedger,
 )
+from .service import ServiceConfig, ServiceWorkload
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CATEGORIES",
@@ -146,6 +153,8 @@ __all__ = [
     "RestartPolicy",
     "RetransmitPolicy",
     "ScheduleSearcher",
+    "ServiceConfig",
+    "ServiceWorkload",
     "Shell",
     "Simulator",
     "Tracer",

@@ -25,6 +25,11 @@ from .matmul_experiments import (
 )
 from .mailbox_experiments import run_mailbox_bench, run_mailbox_scenario
 from .perf_experiments import run_perf_report
+from .service_experiments import (
+    run_degradation_search,
+    run_service_bench,
+    run_service_scenario,
+)
 from .reporting import Figure, Series, ascii_chart, format_table
 from .resilience_experiments import (
     HEARTBEAT_MISS_SWEEP,
@@ -75,10 +80,13 @@ __all__ = [
     "run_detection_sweep",
     "run_figure",
     "run_loss_sweep",
+    "run_degradation_search",
     "run_mailbox_bench",
     "run_mailbox_scenario",
     "run_perf_report",
     "run_recovery_comparison",
     "run_replications",
+    "run_service_bench",
+    "run_service_scenario",
     "seed_sweep_experiment",
 ]

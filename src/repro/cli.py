@@ -24,19 +24,23 @@ Commands
     heartbeat|phi`` triggers recovery through a failure detector
     instead of the oracle crash hook; ``--json`` emits the report as
     JSON.  Exits non-zero if either system diverges.
-``search [--system S] [--schedules N] [--depth D] [--json]``
+``search [--system S] [--schedules N] [--depth D] [--json] [--out F]``
     Explore fault schedules (crash times x drop rates) against the
     Mandelbrot workload with :class:`repro.resilience.ScheduleSearcher`
-    and shrink any violation to a minimal reproducer.  Exits non-zero
+    and shrink any violation to a minimal reproducer.  ``--out FILE``
+    writes the JSON report — including the shrunk minimal FaultPlan,
+    replayable via ``FaultPlan.from_dict`` — to disk.  Exits non-zero
     when a violation is found.
-``bench {perf,throughput,faults,resilience,mailbox,sweep} [--parallel N]``
+``bench {perf,throughput,faults,resilience,mailbox,service,sweep} [--parallel N]``
     Run a benchmark suite and emit the JSON blob the committed
     ``BENCH_*.json`` files are made of (stdout, or ``--out FILE``).
     ``perf`` is the throughput report behind ``BENCH_perf.json``;
     ``throughput`` is just its microbenchmarks; ``faults`` /
     ``resilience`` regenerate the fault and resilience sweeps;
     ``mailbox`` measures mail delivery latency and throughput under
-    churn and 5% loss (``BENCH_mailbox.json``); and ``sweep`` runs the
+    churn and 5% loss (``BENCH_mailbox.json``); ``service`` sweeps the
+    open-loop service workload across offered load, faults, and churn
+    on both systems (``BENCH_service.json``); and ``sweep`` runs the
     seed-replication demo experiment.  ``--parallel N`` fans
     independent replications out over an ``N``-process pool (``faults``
     and ``sweep``) — the output is identical to the serial run by
@@ -315,6 +319,17 @@ def _cmd_search(args) -> int:
         max_schedules=args.schedules, max_depth=args.depth
     )
     report["system"] = args.system
+    if args.out:
+        from pathlib import Path
+
+        # The shrunk minimal reproducer (when a violation was found) is
+        # the payload worth keeping: report["minimal"]["plan"] is a
+        # FaultPlan.to_dict() that FaultPlan.from_dict() replays
+        # verbatim with report["minimal"]["seed"].
+        Path(args.out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.out}")
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
@@ -363,6 +378,8 @@ def _cmd_bench(args) -> int:
         }
     elif args.which == "mailbox":
         blob = bench.run_mailbox_bench(repeats=args.repeats)
+    elif args.which == "service":
+        blob = bench.run_service_bench(repeats=args.repeats)
     else:  # sweep
         blob = bench.seed_sweep_experiment().run(processes=args.parallel)
     text = json.dumps(blob, indent=2, sort_keys=True)
@@ -506,6 +523,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "manager host; finds a known violation)")
     search.add_argument("--json", action="store_true",
                         help="emit a machine-readable JSON report")
+    search.add_argument("--out", default=None,
+                        help="write the JSON report (including the "
+                             "shrunk minimal FaultPlan reproducer, if "
+                             "any) to this path")
     search.set_defaults(func=_cmd_search)
 
     bench = sub.add_parser(
@@ -515,7 +536,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "which",
         choices=[
-            "perf", "throughput", "faults", "resilience", "mailbox", "sweep",
+            "perf", "throughput", "faults", "resilience", "mailbox",
+            "service", "sweep",
         ],
     )
     bench.add_argument("--parallel", type=int, default=1,

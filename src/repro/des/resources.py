@@ -190,6 +190,21 @@ class Store:
             return True, item
         return False, None
 
+    def cancel_get(self, get_event: Event) -> bool:
+        """Withdraw a still-pending ``get``; returns False if it already
+        fired (or was never ours).
+
+        A getter that lost an ``AnyOf`` race (e.g. a recv-with-timeout)
+        must be withdrawn, or it would silently steal a later item.
+        """
+        if get_event.triggered:
+            return False
+        try:
+            self._getters.remove(get_event)
+        except ValueError:
+            return False
+        return True
+
     def clear(self) -> list:
         """Drop and return everything currently stored.
 

@@ -109,6 +109,13 @@ class ClusterConfig:
         resilience policy and the mailbox layer are armed, the
         ``no-lost-mail`` / ``no-double-read`` invariants are wired into
         the suite automatically.
+    ``service``
+        A :class:`~repro.service.ServiceConfig` describing an open-loop
+        service workload; ``c.service`` then builds the
+        :class:`~repro.service.ServiceWorkload` (lazily, like the other
+        layers).  When a resilience policy is also armed, the
+        ``no-request-lost`` / ``breaker-sanity`` invariants are wired
+        into the suite automatically.
     """
 
     n_hosts: int = 4
@@ -120,6 +127,7 @@ class ClusterConfig:
     seed: int = 0
     resilience: Any = None
     mailbox: Union[None, bool, MailboxConfig] = None
+    service: Any = None
     name_prefix: str = "host"
 
     def __post_init__(self):
@@ -213,6 +221,7 @@ class Cluster:
         self._messengers = None
         self._mp = None
         self._mail = None
+        self._service = None
         self.injector = None
         if config.faults is not None:
             from .faults import FaultInjector
@@ -291,6 +300,20 @@ class Cluster:
         if self._mail is None:
             self._arm_mailbox()
         return self._mail
+
+    @property
+    def service(self):
+        """The open-loop service workload (built on first use).
+
+        Configure via ``ClusterConfig(service=ServiceConfig(...))``;
+        with ``service=None`` this property builds a workload with the
+        default :class:`~repro.service.ServiceConfig`.
+        """
+        if self._service is None:
+            from .service import ServiceWorkload
+
+            self._service = ServiceWorkload(self, self.config.service)
+        return self._service
 
     # -- cluster shape -------------------------------------------------------
 
@@ -512,6 +535,8 @@ class Cluster:
             layers.append("mp")
         if self._mail is not None:
             layers.append("mail")
+        if self._service is not None:
+            layers.append("service")
         return (
             f"<Cluster hosts={len(self.network)} "
             f"t={self.sim.now:.6f}s "
@@ -629,6 +654,11 @@ class Experiment:
     ) -> "Experiment":
         """Arm the durable mailbox layer on the run."""
         self._config = replace(self._config, mailbox=config)
+        return self
+
+    def service(self, config: Any) -> "Experiment":
+        """Attach a :class:`~repro.service.ServiceConfig` to the run."""
+        self._config = replace(self._config, service=config)
         return self
 
     def name_prefix(self, prefix: str) -> "Experiment":

@@ -113,7 +113,9 @@ class FaultPlan:
 
     def __init__(self):
         self.events: list[FaultEvent] = []
-        self.retransmit_policy = RetransmitPolicy()
+        #: ``None`` means "use the CostModel's retransmit_* defaults";
+        #: :meth:`retransmit` installs an explicit override.
+        self.retransmit_policy: Optional[RetransmitPolicy] = None
         self._drop: dict[tuple, float] = {}
         self._duplicate: dict[tuple, float] = {}
         self._corrupt: dict[tuple, float] = {}
@@ -336,7 +338,7 @@ class FaultPlan:
                 self._duplicate.items(), key=repr)],
             "corrupt": [[s, d, r] for (s, d), r in sorted(
                 self._corrupt.items(), key=repr)],
-            "retransmit": {
+            "retransmit": None if policy is None else {
                 "timeout_s": policy.timeout_s,
                 "backoff": policy.backoff,
                 "jitter": policy.jitter,

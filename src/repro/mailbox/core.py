@@ -64,6 +64,13 @@ class Mail:
     sent_s: float
     #: Shared by all copies of one broadcast; None for point-to-point.
     bcast_id: Optional[int] = None
+    #: Conversation correlation: a request carries its own id here and
+    #: every reply echoes it, so multi-round exchanges (sagas, RPC over
+    #: mail) can be stitched together.  None outside conversations.
+    corr_id: Optional[int] = None
+    #: Uid of the sender's node, for routing replies; None when the
+    #: sender was the user (no node to reply to).
+    reply_uid: Optional[int] = None
     status: str = "sent"
     delivered_s: Optional[float] = None
     read_count: int = 0
@@ -323,12 +330,15 @@ class MailboxService:
         body: Any,
         subject: str = "",
         frm: Optional[NodeRef] = None,
+        corr_id: Optional[int] = None,
     ) -> Mail:
         """Post one mail to ``to``'s mailbox; returns the Mail record.
 
         The send is asynchronous: the record enters the in-flight
         ledger immediately (status ``sent``) and rides the wire to the
-        daemon currently homing the recipient's node.
+        daemon currently homing the recipient's node.  ``corr_id``
+        threads the mail into an existing conversation (see
+        :meth:`request` / :meth:`reply`).
         """
         node = self._resolve(to)
         if not self.config.auto_create and node.uid not in self._boxes:
@@ -345,11 +355,56 @@ class MailboxService:
             subject=subject,
             body=copy.deepcopy(body),
             sent_s=self.sim.now,
+            corr_id=corr_id,
+            reply_uid=self._resolve(frm).uid if frm is not None else None,
         )
         self._pending[mail.id] = mail
         self.count("sent")
         self._dispatch(mail, origin)
         return mail
+
+    def request(
+        self,
+        to: NodeRef,
+        body: Any,
+        subject: str = "",
+        frm: Optional[NodeRef] = None,
+    ) -> Mail:
+        """Open a conversation: send a mail whose own id is the
+        correlation id every :meth:`reply` in the exchange will carry."""
+        mail = self.send(to, body, subject=subject, frm=frm)
+        # The id is only known after `send` mints it; delivery happens
+        # strictly later in virtual time, so stamping here is safe.
+        mail.corr_id = mail.id
+        self.count("requests")
+        return mail
+
+    def reply(
+        self,
+        to_mail: Mail,
+        body: Any,
+        subject: str = "",
+    ) -> Mail:
+        """Answer ``to_mail`` within its conversation.
+
+        Routes to the original sender's node (wherever it now lives)
+        and echoes the conversation's correlation id.  Raises if the
+        mail came from the user (no node to reply to).
+        """
+        if to_mail.reply_uid is None:
+            raise ValueError(
+                f"mail #{to_mail.id} has no reply address "
+                "(sent by the user, not a node)"
+            )
+        corr = to_mail.corr_id if to_mail.corr_id is not None else to_mail.id
+        self.count("replies")
+        return self.send(
+            to_mail.reply_uid,
+            body,
+            subject=subject or f"re: {to_mail.subject}",
+            frm=to_mail.to_uid,
+            corr_id=corr,
+        )
 
     def broadcast(
         self,

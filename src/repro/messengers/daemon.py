@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..des import Store
-from ..netsim import Host, Packet
+from ..netsim import Host, HostCrashedError, Packet
 from .logical import LogicalNode
 from .mcl.bytecode import (
     CreateCommand,
@@ -106,17 +106,27 @@ class Daemon:
             kind, data = packet.payload
             metrics = self.sim.obs
             if self.retired:
-                yield from self._forward(packet, kind, data, costs)
+                try:
+                    yield from self._forward(packet, kind, data, costs)
+                except HostCrashedError:
+                    pass
                 continue
             if kind == "messenger":
                 messenger = data
-                yield self.sim.process(
-                    self.host.busy(
-                        costs.hop_dispatch_s,
-                        category="dispatch",
-                        label="hop.dispatch",
+                try:
+                    yield self.sim.process(
+                        self.host.busy(
+                            costs.hop_dispatch_s,
+                            category="dispatch",
+                            label="hop.dispatch",
+                        )
                     )
-                )
+                except HostCrashedError:
+                    # The crash landed while the dispatch was queued on
+                    # the CPU: the work item dies with the host (crash
+                    # recovery collects it as a victim); the pump parks
+                    # again and resumes after a restart.
+                    continue
                 self.stats.arrivals += 1
                 if metrics is not None:
                     metrics.count("messengers.arrivals")
@@ -129,13 +139,16 @@ class Daemon:
                 self.enqueue_ready(messenger)
             elif kind == "create":
                 messenger, item, origin_node = data
-                yield self.sim.process(
-                    self.host.busy(
-                        costs.hop_dispatch_s,
-                        category="dispatch",
-                        label="hop.dispatch",
+                try:
+                    yield self.sim.process(
+                        self.host.busy(
+                            costs.hop_dispatch_s,
+                            category="dispatch",
+                            label="hop.dispatch",
+                        )
                     )
-                )
+                except HostCrashedError:
+                    continue
                 self.stats.arrivals += 1
                 if metrics is not None:
                     metrics.count("messengers.arrivals")
@@ -144,13 +157,16 @@ class Daemon:
                 self.system.checkpoint_delivered(messenger)
                 self._create_local(messenger, item, origin_node)
                 # creation cost itself
-                yield self.sim.process(
-                    self.host.busy(
-                        2 * costs.logical_create_s,
-                        category="dispatch",
-                        label="logical.create",
+                try:
+                    yield self.sim.process(
+                        self.host.busy(
+                            2 * costs.logical_create_s,
+                            category="dispatch",
+                            label="logical.create",
+                        )
                     )
-                )
+                except HostCrashedError:
+                    continue
                 self.enqueue_ready(messenger)
             else:  # pragma: no cover - internal protocol
                 raise RuntimeError(f"bad daemon packet kind {kind!r}")
@@ -222,6 +238,11 @@ class Daemon:
                 continue
             try:
                 yield from self._execute_slice(messenger)
+            except HostCrashedError:
+                # The host died under the slice: the Messenger is a
+                # crash casualty (recovery kills and replays it from
+                # its checkpoint), not a script error.
+                continue
             except Exception as error:  # noqa: BLE001 - daemon must survive
                 # The failed Messenger was already recorded as a casualty
                 # by _execute_slice; the daemon itself keeps serving.

@@ -39,7 +39,7 @@ class _Checkpoint:
     """
 
     __slots__ = ("clone", "holder", "kind", "node", "item", "origin",
-                 "dest", "prev")
+                 "dest", "prev", "in_flight")
 
     def __init__(self, clone, holder, kind, node, item, origin, dest):
         self.clone = clone
@@ -50,6 +50,10 @@ class _Checkpoint:
         self.origin = origin  # create: the originating LogicalNode
         self.dest = dest  # create: destination daemon name
         self.prev = None
+        #: True from dispatch until delivery: the holder still owns the
+        #: retransmit responsibility, so a crash of the holder while
+        #: this is set strands the Messenger unless recovery replays it.
+        self.in_flight = True
 
 
 class MessengersSystem:
@@ -353,6 +357,7 @@ class MessengersSystem:
         checkpoint = self._checkpoints.get(messenger.id)
         if checkpoint is not None:
             checkpoint.prev = None
+            checkpoint.in_flight = False
 
     def _collect_victims(
         self, name: str, lost_packets, victims: dict
@@ -362,8 +367,12 @@ class MessengersSystem:
         Victims are (a) alive Messengers whose current logical node lives
         on the dead daemon (resident, ready, executing, suspended, or
         already placed in flight toward it), (b) Messengers riding in the
-        dead host's lost transmit/receive queues, and (c) in-flight
-        create requests addressed to the dead daemon.
+        dead host's lost transmit/receive queues, (c) in-flight create
+        requests addressed to the dead daemon, and (d) undelivered
+        dispatches *held* by the dead daemon — the sender owned the
+        retransmit responsibility (e.g. the packet was dropped by the
+        loss fault and was awaiting retransmission from the dead host's
+        transport), so nobody else will ever re-send them.
         """
         for messenger in self.messengers.values():
             if (
@@ -381,13 +390,15 @@ class MessengersSystem:
                 victims[messenger.id] = messenger
         for mid, checkpoint in self._checkpoints.items():
             messenger = self.messengers.get(mid)
+            if messenger is None or not messenger.alive:
+                continue
             if (
-                messenger is not None
-                and messenger.alive
-                and messenger.node is None
+                messenger.node is None
                 and checkpoint.kind == "create"
                 and checkpoint.dest == name
             ):
+                victims[messenger.id] = messenger
+            elif checkpoint.in_flight and checkpoint.holder == name:
                 victims[messenger.id] = messenger
 
     def _kill_victims(self, name: str, victims: dict, faults) -> None:

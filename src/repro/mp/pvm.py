@@ -54,8 +54,24 @@ class MessagePassingSystem:
         network.set_reliable(self.port_name)
         network.add_crash_listener(self._on_host_crash)
         network.add_failure_listener(self._on_host_failure)
+        self._attached_hosts: set[str] = set(network.host_names)
         for host_name in network.host_names:
             self.sim.process(self._delivery_daemon(host_name), daemon=True)
+
+    def attach_host(self, host_name: str) -> None:
+        """Enrol a host added after construction (host churn).
+
+        Starts the pvmd delivery daemon for the new host and folds it
+        into round-robin placement.  Idempotent per host name.
+        """
+        if host_name in self._attached_hosts:
+            return
+        self.network.host(host_name)  # raises KeyError if unknown
+        self._attached_hosts.add(host_name)
+        self._placement = itertools.cycle(
+            sorted(self._attached_hosts)
+        )
+        self.sim.process(self._delivery_daemon(host_name), daemon=True)
 
     # -- task management -----------------------------------------------------
 

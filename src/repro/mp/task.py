@@ -181,14 +181,17 @@ class TaskContext:
         buf.pack_object(data)
         return buf
 
-    def send(self, dst: int, data: Union[PackBuffer, Any], tag: int = 0):
+    def send(self, dst: int, data: Union[PackBuffer, Any], tag: int = 0,
+             deadline_s: Optional[float] = None):
         """Generator: send ``data`` to task ``dst`` (pvm_send).
 
         Charges one memory copy of the whole buffer (pack) plus the
         per-message software overhead on this task's CPU, then hands the
         packet to the NIC.  Like ``pvm_send``, this is *asynchronous*:
         it returns once the message is safely buffered, not when it is
-        received.
+        received.  ``deadline_s`` (absolute virtual time) stamps the
+        packet so the reliable channel stops retransmitting it once the
+        carried request could only arrive too late.
         """
         buf = self._coerce_buffer(data)
         costs = self._system.costs
@@ -209,6 +212,7 @@ class TaskContext:
             port=self._system.port_name,
             payload=(dst, self._task.tid, tag, buf),
             size_bytes=self._wire_bytes(buf.nbytes),
+            deadline_s=deadline_s,
         )
         self._system.network.enqueue(packet)
 
@@ -270,6 +274,36 @@ class TaskContext:
 
         entry = yield self._task.mailbox.get(matches)
         msg_src, msg_tag, buf = entry
+        costs = self._system.costs
+        unpack_seconds = buf.nbytes * costs.unpack_cost_per_byte_s
+        yield from self._busy(unpack_seconds, label="mp.recv")
+        metrics = self.sim.obs
+        if metrics is not None:
+            metrics.count("mp.messages_received")
+            metrics.count("mp.unpack.bytes_copied", buf.nbytes)
+            metrics.charge("copies", unpack_seconds)
+        return Message(msg_src, msg_tag, UnpackBuffer(buf.items, buf.nbytes))
+
+    def recv_timeout(self, timeout_s: float, src: int = ANY, tag: int = ANY):
+        """Generator: blocking receive with a timeout (pvm_trecv).
+
+        Like :meth:`recv`, but gives up after ``timeout_s`` virtual
+        seconds and returns ``None``.  The pending mailbox claim is
+        withdrawn on timeout so it cannot steal a later message.
+        """
+
+        def matches(entry):
+            msg_src, msg_tag, _buf = entry
+            return (src == ANY or msg_src == src) and (
+                tag == ANY or msg_tag == tag
+            )
+
+        get = self._task.mailbox.get(matches)
+        yield get | self.sim.timeout(timeout_s)
+        if not get.triggered:
+            self._task.mailbox.cancel_get(get)
+            return None
+        msg_src, msg_tag, buf = get.value
         costs = self._system.costs
         unpack_seconds = buf.nbytes * costs.unpack_cost_per_byte_s
         yield from self._busy(unpack_seconds, label="mp.recv")

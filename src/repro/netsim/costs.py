@@ -101,6 +101,20 @@ class CostModel:
     #: pack/unpack copies are charged (the paper's zero-copy argument).
     msgr_state_local_per_byte_s: float = 2e-9
 
+    # -- reliable channel (seq/ack/retransmit) -------------------------------
+    #: Size of one acknowledgement frame on the wire.
+    ack_bytes: int = 64
+    #: First retransmit timeout of the reliable channel.  A
+    #: :class:`~repro.faults.RetransmitPolicy` set explicitly on a
+    #: :class:`~repro.faults.FaultPlan` overrides these four fields.
+    retransmit_timeout_s: float = 0.05
+    #: Timeout multiplier per unsuccessful attempt.
+    retransmit_backoff: float = 2.0
+    #: +U(0, jitter) fraction added per attempt (from des.rng).
+    retransmit_jitter: float = 0.25
+    #: Retransmit attempts before the packet is abandoned.
+    retransmit_max_retries: int = 12
+
     # -- global virtual time -------------------------------------------------
     #: Conservative GVT: fixed cost of one round of the min-reduction at
     #: each daemon.  The paper calls this "continuous periodic exchange

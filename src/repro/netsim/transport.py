@@ -44,6 +44,11 @@ class Packet:
     size_bytes: int
     send_time: float = field(default=0.0)
     seq: Optional[int] = field(default=None)
+    #: Absolute virtual-time deadline of the request this packet carries,
+    #: or ``None``.  The reliable channel stops retransmitting a packet
+    #: whose deadline has passed — the bytes could only arrive too late
+    #: to matter, so the capacity is better spent on live requests.
+    deadline_s: Optional[float] = field(default=None)
 
     @property
     def is_local(self) -> bool:
@@ -362,7 +367,7 @@ class Network:
                     port="_ack",
                     payload=(packet.src, packet.dst, packet.port,
                              packet.seq),
-                    size_bytes=ACK_BYTES,
+                    size_bytes=self.costs.ack_bytes,
                 ))
                 if not fresh:
                     faults.count("duplicates_suppressed")
@@ -393,22 +398,39 @@ class Network:
         budget runs out (a crashed peer is the recovery layers' problem,
         not the transport's)."""
         faults = self.faults
+        # An explicit plan policy wins; otherwise the cost model's
+        # retransmit_* fields apply (sweepable per experiment).
         policy = faults.plan.retransmit_policy
+        if policy is None:
+            costs = self.costs
+            timeout_s = costs.retransmit_timeout_s
+            backoff = costs.retransmit_backoff
+            jitter = costs.retransmit_jitter
+            max_retries = costs.retransmit_max_retries
+        else:
+            timeout_s = policy.timeout_s
+            backoff = policy.backoff
+            jitter = policy.jitter
+            max_retries = policy.max_retries
         jitter_rng = faults.retransmit_rng
-        delay = policy.timeout_s
+        delay = timeout_s
         key = (packet.src, packet.dst, packet.port, packet.seq)
-        for _attempt in range(policy.max_retries):
+        for _attempt in range(max_retries):
             yield ack_event | self.sim.timeout(delay)
             if ack_event.triggered:
                 return
+            if (packet.deadline_s is not None
+                    and self.sim.now >= packet.deadline_s):
+                faults.count("retransmits_deadline_expired")
+                break
             src_host = self._hosts[packet.src]
             dst_host = self._hosts[packet.dst]
             if src_host.crashed or dst_host.crashed:
                 break
             faults.count("retransmits")
             src_host.port("_tx").put((packet, self.sim.event()))
-            delay *= policy.backoff
-            delay *= 1.0 + policy.jitter * jitter_rng.random()
+            delay *= backoff
+            delay *= 1.0 + jitter * jitter_rng.random()
         else:
             faults.count("retransmits_exhausted")
         self._awaiting_ack.pop(key, None)

@@ -178,6 +178,31 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1), Prometheus-style.
+
+        Finds the bucket holding the target rank and interpolates
+        linearly inside it (the lowest bucket interpolates from 0; the
+        +inf bucket returns its lower bound — the estimate saturates).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if seen + n >= rank:
+                if index == len(self.buckets):  # +inf bucket: saturate
+                    return self.buckets[-1]
+                lo = self.buckets[index - 1] if index > 0 else 0.0
+                hi = self.buckets[index]
+                return lo + (hi - lo) * max(0.0, rank - seen) / n
+            seen += n
+        return self.buckets[-1]
+
     def snapshot_value(self):
         return {
             "count": self.count,

@@ -148,6 +148,7 @@ class ScheduleSearcher:
         violations: list[dict] = []
         minimal: Optional[dict] = None
         seen: set[tuple] = set()
+        misses = 0
 
         def schedules():
             yield from self._dfs_schedules(max_depth)
@@ -159,7 +160,15 @@ class ScheduleSearcher:
                 break
             key = tuple(sorted(_atom_key(a) for a in atoms))
             if key in seen or not self._valid(atoms):
+                # A small vocabulary can run dry before max_schedules:
+                # a long streak of already-seen random draws means the
+                # space is (almost surely) exhausted, so stop instead
+                # of spinning on rejected duplicates forever.
+                misses += 1
+                if misses >= 50 * len(self.atoms):
+                    break
                 continue
+            misses = 0
             seen.add(key)
             error = self._run(atoms)
             if error is None:

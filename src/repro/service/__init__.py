@@ -1,0 +1,52 @@
+"""Open-system service workloads with graceful degradation.
+
+``repro.service`` restages the paper's Messengers-vs-messages question
+as a service mesh under open-loop load: deadline-carrying requests
+arrive whether or not the system keeps up, and the interesting regime
+is overload — where a system either degrades gracefully (typed
+rejections, stable goodput plateau) or collapses metastably (every
+queue full of already-dead work).
+
+Entry point: configure a cluster with
+``ClusterConfig(service=ServiceConfig(...))`` and run
+``cluster.service.run("messengers")`` or ``.run("pvm")``.
+"""
+
+from .arrivals import arrival_times
+from .config import ARRIVAL_KINDS, ServiceConfig
+from .degradation import (
+    CLOSED,
+    HALF_OPEN,
+    LEGAL_TRANSITIONS,
+    OPEN,
+    AdmissionController,
+    CircuitBreaker,
+    retry_schedule,
+)
+from .invariants import (
+    TERMINAL_OUTCOMES,
+    BreakerSanity,
+    NoRequestLost,
+    RequestBook,
+)
+from .workload import SERVICE_SCRIPT, Request, ServiceWorkload
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "AdmissionController",
+    "BreakerSanity",
+    "CLOSED",
+    "CircuitBreaker",
+    "HALF_OPEN",
+    "LEGAL_TRANSITIONS",
+    "NoRequestLost",
+    "OPEN",
+    "Request",
+    "RequestBook",
+    "SERVICE_SCRIPT",
+    "ServiceConfig",
+    "ServiceWorkload",
+    "TERMINAL_OUTCOMES",
+    "arrival_times",
+    "retry_schedule",
+]

@@ -1,0 +1,78 @@
+"""Open-loop arrival processes on named RNG streams.
+
+All three generators are pure functions of ``(config, rng)``: the same
+stream state always produces the same arrival-time list, which is what
+makes a whole service run replayable from one root seed.  The
+non-homogeneous processes (bursty, diurnal) use Lewis thinning — a
+homogeneous candidate stream at the peak rate, with each candidate
+accepted with probability ``rate(t) / peak`` — so their *mean* offered
+load equals ``rate_rps`` exactly, and the shape knobs only move traffic
+around in time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List
+
+from .config import ServiceConfig
+
+__all__ = ["arrival_times"]
+
+
+def _homogeneous(rate: float, duration: float, rng) -> List[float]:
+    times: List[float] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate)
+        if t >= duration:
+            return times
+        times.append(t)
+
+
+def _thinned(
+    peak: float, rate_at: Callable[[float], float], duration: float, rng
+) -> List[float]:
+    times: List[float] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(peak)
+        if t >= duration:
+            return times
+        if rng.random() < rate_at(t) / peak:
+            times.append(t)
+    return times
+
+
+def arrival_times(config: ServiceConfig, rng) -> List[float]:
+    """Arrival instants in ``[0, duration_s)``, sorted, from ``rng``.
+
+    ``rng`` is one named :class:`~repro.des.rng.RngRegistry` stream
+    (conventionally ``"service.arrivals"``).
+    """
+    rate = config.rate_rps
+    duration = config.duration_s
+    if config.arrivals == "poisson":
+        return _homogeneous(rate, duration, rng)
+    if config.arrivals == "bursty":
+        on = config.burst_on_s
+        off = config.burst_off_s
+        period = on + off
+        # Mean-preserving on/off: rate_on = factor * rate_off, with the
+        # time-average over one period equal to rate_rps.
+        rate_off = rate * period / (config.burst_factor * on + off)
+        rate_on = config.burst_factor * rate_off
+
+        def burst_rate(t: float) -> float:
+            return rate_on if (t % period) < on else rate_off
+
+        return _thinned(rate_on, burst_rate, duration, rng)
+    # diurnal: sinusoidal modulation, mean-preserving by construction.
+    depth = config.diurnal_depth
+    period = config.diurnal_period_s
+    peak = rate * (1.0 + depth)
+
+    def diurnal_rate(t: float) -> float:
+        return rate * (1.0 + depth * math.sin(2.0 * math.pi * t / period))
+
+    return _thinned(peak, diurnal_rate, duration, rng)

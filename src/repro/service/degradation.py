@@ -1,0 +1,226 @@
+"""The graceful-degradation stack: admission, retries, breakers.
+
+Overload handling follows one principle: convert pressure into *typed,
+accounted* outcomes early, instead of letting queues grow until the
+whole system serves only dead requests (metastable collapse).  Three
+mechanisms implement it:
+
+* :class:`AdmissionController` — a hard bound on admitted in-flight
+  requests at ingress; excess arrivals are rejected in O(1);
+* :func:`retry_schedule` — per-request retry timeouts with exponential
+  backoff and deterministic jitter drawn from a named RNG stream, so a
+  retry storm never synchronizes and two runs with the same seed retry
+  at the exact same instants;
+* :class:`CircuitBreaker` — the classic closed/open/half-open machine
+  per downstream target, driven by (and publishing to) the obs
+  registry's live error-rate and latency gauges: a window of failures
+  opens it, fast-failing new requests for a cooldown, then a few
+  half-open probes decide whether the target has recovered.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Tuple
+
+__all__ = [
+    "AdmissionController",
+    "CLOSED",
+    "CircuitBreaker",
+    "HALF_OPEN",
+    "LEGAL_TRANSITIONS",
+    "OPEN",
+    "retry_schedule",
+]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: The only edges a sane breaker may take (checked by BreakerSanity).
+LEGAL_TRANSITIONS = frozenset(
+    [(CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED),
+     (HALF_OPEN, OPEN)]
+)
+
+_STATE_VALUE = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+
+def retry_schedule(
+    budget: int,
+    timeout_s: float,
+    backoff: float,
+    jitter: float,
+    rng,
+) -> Tuple[float, ...]:
+    """Per-attempt timeouts for one request: ``budget + 1`` entries.
+
+    Attempt ``i`` waits ``timeout_s * backoff**i * (1 + jitter * U)``
+    with ``U`` drawn from ``rng`` (a named stream — conventionally
+    ``"service.retry"``).  A pure function of ``(args, rng state)``:
+    the same stream replays the same schedule bit-for-bit.
+    """
+    if budget < 0:
+        raise ValueError("retry budget cannot be negative")
+    if timeout_s <= 0:
+        raise ValueError("retry timeout must be positive")
+    return tuple(
+        timeout_s * (backoff ** attempt) * (1.0 + jitter * rng.random())
+        for attempt in range(budget + 1)
+    )
+
+
+class AdmissionController:
+    """Bounded admission at ingress: overload becomes typed rejection.
+
+    ``try_admit`` is the only gate; every admitted request must
+    ``release`` exactly once when it reaches a terminal state, whatever
+    that state is.
+    """
+
+    def __init__(self, max_in_flight: int):
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+        self.max_in_flight = max_in_flight
+        self.in_flight = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    def try_admit(self) -> bool:
+        if self.in_flight >= self.max_in_flight:
+            self.rejected += 1
+            return False
+        self.in_flight += 1
+        self.admitted += 1
+        return True
+
+    def release(self) -> None:
+        if self.in_flight <= 0:
+            raise RuntimeError("admission release without a matching admit")
+        self.in_flight -= 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<AdmissionController {self.in_flight}/{self.max_in_flight} "
+            f"admitted={self.admitted} rejected={self.rejected}>"
+        )
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker for one downstream target.
+
+    Closed: results feed a sliding window; once the window is full and
+    its error rate reaches ``threshold``, the breaker opens.  Open:
+    ``allow`` fast-fails until ``cooldown_s`` has elapsed, then the
+    breaker goes half-open.  Half-open: at most ``probes`` concurrent
+    probe requests; ``probes`` consecutive successes close it, any
+    failure re-opens it.
+
+    When a :class:`~repro.obs.MetricsRegistry` is attached the breaker
+    publishes ``service.breaker.<target>.state`` / ``.error_rate`` /
+    ``.latency_s`` gauges and the open/fast-fail decisions read the
+    live error-rate gauge — the registry is in the control loop, not
+    just an observer.  Without metrics the internal window value is
+    used, which is numerically identical, so enabling observability
+    never changes scheduling.
+    """
+
+    def __init__(
+        self,
+        sim,
+        target: str,
+        window: int = 16,
+        threshold: float = 0.5,
+        cooldown_s: float = 0.06,
+        probes: int = 2,
+        metrics=None,
+    ):
+        self.sim = sim
+        self.target = target
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.probes = probes
+        self.state = CLOSED
+        self.opened_at: Optional[float] = None
+        self.fast_fails = 0
+        #: (time, state) history, for the breaker-sanity invariant.
+        self.transitions: list[tuple[float, str]] = [(0.0, CLOSED)]
+        self._window: deque = deque(maxlen=window)
+        self._probes_out = 0
+        self._probe_ok = 0
+        self._state_gauge = None
+        self._error_gauge = None
+        self._latency_gauge = None
+        if metrics is not None and metrics.enabled:
+            prefix = f"service.breaker.{target}"
+            self._state_gauge = metrics.gauge(f"{prefix}.state")
+            self._error_gauge = metrics.gauge(f"{prefix}.error_rate")
+            self._latency_gauge = metrics.gauge(f"{prefix}.latency_s")
+
+    # -- decisions -----------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May one more request be sent at this target right now?"""
+        now = self.sim.now
+        if self.state == OPEN:
+            if now - self.opened_at >= self.cooldown_s:
+                self._transition(HALF_OPEN, now)
+            else:
+                self.fast_fails += 1
+                return False
+        if self.state == HALF_OPEN:
+            if self._probes_out >= self.probes:
+                self.fast_fails += 1
+                return False
+            self._probes_out += 1
+            return True
+        return True
+
+    def record(self, ok: bool, latency_s: Optional[float] = None) -> None:
+        """Feed one request outcome for this target back in."""
+        now = self.sim.now
+        if latency_s is not None and self._latency_gauge is not None:
+            self._latency_gauge.set(latency_s)
+        if self.state == HALF_OPEN:
+            if self._probes_out > 0:
+                self._probes_out -= 1
+            if ok:
+                self._probe_ok += 1
+                if self._probe_ok >= self.probes:
+                    self._transition(CLOSED, now)
+            else:
+                self._transition(OPEN, now)
+            return
+        if self.state == OPEN:
+            return  # stale result from before the window was wiped
+        self._window.append(0 if ok else 1)
+        rate = sum(self._window) / len(self._window)
+        if self._error_gauge is not None:
+            self._error_gauge.set(rate)
+            rate = self._error_gauge.value  # decide from the live gauge
+        if len(self._window) == self._window.maxlen and \
+                rate >= self.threshold:
+            self._transition(OPEN, now)
+
+    # -- internals -----------------------------------------------------------
+
+    def _transition(self, state: str, now: float) -> None:
+        self.transitions.append((now, state))
+        self.state = state
+        if state == OPEN:
+            self.opened_at = now
+            self._window.clear()
+        self._probes_out = 0
+        self._probe_ok = 0
+        if self._state_gauge is not None:
+            self._state_gauge.set(_STATE_VALUE[state])
+
+    @property
+    def times_opened(self) -> int:
+        return sum(1 for _t, s in self.transitions if s == OPEN)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CircuitBreaker {self.target} {self.state} "
+            f"opened={self.times_opened} fast_fails={self.fast_fails}>"
+        )

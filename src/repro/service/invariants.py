@@ -1,0 +1,167 @@
+"""Degradation invariants: what shedding is never allowed to break.
+
+Load shedding deliberately *fails* requests, so "no request failed" is
+not a property worth checking.  What must hold instead:
+
+* :class:`NoRequestLost` — every request that entered the system
+  reaches exactly one typed terminal state (completed, expired,
+  rejected, failed).  Shedding may refuse work; it may never lose work
+  *silently*.  Double resolution (e.g. a crash-replayed native
+  reporting twice) is absorbed by first-writer-wins bookkeeping in the
+  :class:`RequestBook` and surfaces here if an unknown request shows
+  up.
+* :class:`BreakerSanity` — every circuit breaker only ever walks legal
+  edges of the closed/open/half-open machine, in non-decreasing time,
+  with probe accounting inside bounds.
+
+Both plug into :meth:`repro.resilience.ResilienceSuite.add_invariant`,
+which also makes them reachable by the schedule searcher.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..resilience.invariants import Invariant
+from .degradation import CLOSED, CircuitBreaker, LEGAL_TRANSITIONS
+
+__all__ = [
+    "BreakerSanity",
+    "NoRequestLost",
+    "RequestBook",
+    "TERMINAL_OUTCOMES",
+]
+
+#: The only terminal states a request may reach.
+TERMINAL_OUTCOMES = (
+    "completed",            # answered within its deadline
+    "expired",              # deadline passed before an answer
+    "rejected_admission",   # shed at ingress (admission control)
+    "rejected_breaker",     # fast-failed by an open circuit breaker
+    "failed",               # retry budget exhausted before the deadline
+)
+
+_TERMINAL_SET = frozenset(TERMINAL_OUTCOMES)
+
+
+class RequestBook:
+    """Per-request terminal-state ledger (first writer wins).
+
+    ``create`` records a request entering the system; ``resolve``
+    records its terminal state.  A second resolution of the same
+    request is refused and counted — crash replay may legitimately
+    re-run the native that reports an outcome, and the book absorbs
+    the duplicate rather than corrupting the first verdict.
+    """
+
+    def __init__(self):
+        self.created: Dict[int, float] = {}
+        self.outcomes: Dict[int, tuple] = {}
+        self.duplicate_resolutions = 0
+        #: Resolutions for requests never created (always a bug).
+        self.orphans: list[int] = []
+
+    def create(self, rid: int, t: float) -> None:
+        self.created[rid] = t
+
+    def resolve(self, rid: int, outcome: str, t: float) -> bool:
+        """Record ``rid``'s terminal state; False on a duplicate."""
+        if outcome not in _TERMINAL_SET:
+            raise ValueError(
+                f"unknown outcome {outcome!r} "
+                f"(choose from {', '.join(TERMINAL_OUTCOMES)})"
+            )
+        if rid not in self.created:
+            self.orphans.append(rid)
+        if rid in self.outcomes:
+            self.duplicate_resolutions += 1
+            return False
+        self.outcomes[rid] = (outcome, t)
+        return True
+
+    @property
+    def open_requests(self) -> list[int]:
+        """Requests created but not yet in a terminal state."""
+        return [rid for rid in self.created if rid not in self.outcomes]
+
+    def outcome_counts(self) -> Dict[str, int]:
+        counts = dict.fromkeys(TERMINAL_OUTCOMES, 0)
+        for outcome, _t in self.outcomes.values():
+            counts[outcome] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"<RequestBook created={len(self.created)} "
+            f"resolved={len(self.outcomes)} "
+            f"open={len(self.open_requests)}>"
+        )
+
+
+class NoRequestLost(Invariant):
+    """Every request reaches exactly one typed terminal state."""
+
+    name = "no-request-lost"
+
+    def __init__(self, book: RequestBook):
+        self.book = book
+
+    def check(self, now: float) -> Optional[str]:
+        if self.book.orphans:
+            return (
+                f"outcome recorded for requests never created: "
+                f"{self.book.orphans[:5]}"
+            )
+        return None
+
+    def check_final(self, now: float) -> Optional[str]:
+        error = self.check(now)
+        if error is not None:
+            return error
+        missing = self.book.open_requests
+        if missing:
+            return (
+                f"{len(missing)} request(s) silently lost — no terminal "
+                f"state (e.g. ids {sorted(missing)[:5]})"
+            )
+        return None
+
+
+class BreakerSanity(Invariant):
+    """Breaker state machines only walk legal edges, forward in time."""
+
+    name = "breaker-sanity"
+
+    def __init__(self, breakers: Dict[str, CircuitBreaker]):
+        #: Live view — the workload adds breakers as targets appear.
+        self.breakers = breakers
+
+    def check(self, now: float) -> Optional[str]:
+        for target, breaker in sorted(self.breakers.items()):
+            history = breaker.transitions
+            if not history or history[0][1] != CLOSED:
+                return f"breaker {target}: history does not start closed"
+            last_t, last_s = history[0]
+            for t, state in history[1:]:
+                if t < last_t - 1e-12:
+                    return (
+                        f"breaker {target}: transition time moved "
+                        f"backwards ({last_t} -> {t})"
+                    )
+                if (last_s, state) not in LEGAL_TRANSITIONS:
+                    return (
+                        f"breaker {target}: illegal transition "
+                        f"{last_s} -> {state} at t={t:.6f}"
+                    )
+                last_t, last_s = t, state
+            if breaker.state != last_s:
+                return (
+                    f"breaker {target}: live state {breaker.state} "
+                    f"disagrees with history ({last_s})"
+                )
+            if not 0 <= breaker._probes_out <= breaker.probes:
+                return (
+                    f"breaker {target}: probe accounting out of bounds "
+                    f"({breaker._probes_out}/{breaker.probes})"
+                )
+        return None

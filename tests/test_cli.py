@@ -98,6 +98,47 @@ class TestSearch:
         assert not report["clean"]
         assert report["minimal"]["atoms"][0]["host"] == "host0"
 
+    def test_search_out_writes_replayable_reproducer(self, tmp_path,
+                                                     capsys):
+        import json
+
+        from repro import FaultPlan
+
+        out = tmp_path / "reproducer.json"
+        status = main([
+            "search", "--system", "pvm", "--image", "32", "--grid", "2",
+            "--procs", "2", "--schedules", "4", "--depth", "1",
+            "--loss", "0", "--include-manager", "--out", str(out),
+        ])
+        assert status == 1
+        assert str(out) in capsys.readouterr().out
+        report = json.loads(out.read_text())
+        assert not report["clean"]
+        minimal = report["minimal"]
+        assert minimal["atoms"][0]["host"] == "host0"
+        assert "seed" in minimal
+        # The serialized plan replays verbatim through from_dict.
+        plan = FaultPlan.from_dict(minimal["plan"])
+        assert plan.to_dict() == minimal["plan"]
+        assert any(
+            event["kind"] == "crash" and event["host"] == "host0"
+            for event in minimal["plan"]["events"]
+        )
+
+    def test_search_clean_run_writes_report_too(self, tmp_path):
+        import json
+
+        out = tmp_path / "clean.json"
+        status = main([
+            "search", "--system", "pvm", "--image", "32", "--grid", "2",
+            "--procs", "2", "--schedules", "2", "--depth", "1",
+            "--loss", "0", "--out", str(out),
+        ])
+        assert status == 0
+        report = json.loads(out.read_text())
+        assert report["clean"]
+        assert report["minimal"] is None
+
 
 class TestStats:
     def test_stats_breakdown_and_trace(self, tmp_path, capsys):

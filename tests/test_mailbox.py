@@ -382,3 +382,161 @@ class TestScheduleSearch:
         report = searcher.search(max_schedules=120, max_depth=2)
         assert report["schedules_run"] >= 100
         assert report["clean"], report["violations"]
+
+
+class TestSagas:
+    """Multi-round request/reply conversations with compensation.
+
+    A saga is an ordered sequence of steps at participant nodes, driven
+    by a coordinator over mailbox ``request``/``reply`` (every reply
+    carries the conversation's correlation id), with an absolute
+    deadline: if it expires mid-saga, the coordinator cancels the saga
+    and compensates (undoes) every step that had completed — including
+    a step whose ack arrives *after* the cancellation.  Run under churn
+    (join + leave of a participant's home) and 5% loss; outcomes and
+    read sets must be bit-identical across reruns.
+    """
+
+    STEPS = ("svc_a", "svc_b")
+
+    def _run(self, seed=7):
+        plan = FaultPlan().drop(0.05)
+        c = build(plan=plan, seed=seed, resilience=ResiliencePolicy())
+        hasher = TraceHasher()
+        c.sim.trace_hash = hasher
+
+        c.add_node("coord", daemon="host0")
+        c.add_node("svc_a", daemon="host1")
+        c.add_node("svc_b", daemon="host2")
+
+        sagas = {}
+        corr = {}  # request mail id -> (sid, step)
+        stray_replies = []
+        late_acks = []
+
+        def participant(mail):
+            body = mail.body
+            kind = "ack" if body["kind"] == "do" else "comp-ack"
+            c.mail.reply(mail, dict(body, kind=kind))
+
+        c.consumer("svc_a", participant)
+        c.consumer("svc_b", participant)
+
+        def send(sid, step, kind):
+            mail = c.mail.request(
+                step, {"sid": sid, "step": step, "kind": kind},
+                frm="coord",
+            )
+            corr[mail.id] = (sid, step)
+
+        def send_undo(sid, step):
+            sagas[sid]["pending"].add(step)
+            send(sid, step, "undo")
+
+        def coordinator(mail):
+            if corr.get(mail.corr_id) is None:
+                stray_replies.append(mail.id)
+                return
+            body = mail.body
+            sid, step = body["sid"], body["step"]
+            saga = sagas[sid]
+            if body["kind"] == "comp-ack":
+                saga["pending"].discard(step)
+                if saga["state"] == "compensating" and \
+                        not saga["pending"]:
+                    saga["state"] = "compensated"
+                return
+            if saga["state"] != "running":
+                # The step finished after cancellation: undo it too.
+                late_acks.append((sid, step))
+                saga["state"] = "compensating"
+                send_undo(sid, step)
+                return
+            saga["done"].append(step)
+            if len(saga["done"]) < len(self.STEPS):
+                send(sid, self.STEPS[len(saga["done"])], "do")
+            else:
+                saga["state"] = "completed"
+
+        c.consumer("coord", coordinator)
+
+        def expire(sid):
+            saga = sagas[sid]
+            if saga["state"] != "running":
+                return
+            if not saga["done"]:
+                saga["state"] = "expired"
+                return
+            saga["state"] = "compensating"
+            for step in saga["done"]:
+                send_undo(sid, step)
+
+        def start_saga(sid, budget):
+            def kick(cluster):
+                sagas[sid] = {
+                    "state": "running", "done": [], "pending": set(),
+                }
+                send(sid, self.STEPS[0], "do")
+                cluster.schedule(
+                    cluster.now + budget, lambda cl: expire(sid)
+                )
+            return kick
+
+        for index in range(5):
+            c.schedule(0.002 + 0.01 * index, start_saga(index, 0.08))
+        # Doomed saga: its deadline lands between step acks, so the
+        # compensation path must run.
+        c.schedule(0.005, start_saga(99, 0.02))
+
+        c.schedule(0.012, lambda c: c.join_host())
+        c.schedule(0.03, lambda c: c.leave_host("host1"))
+
+        c.run_to_quiescence()
+        c.resilience.check_final()
+        return {
+            "outcomes": {
+                sid: saga["state"] for sid, saga in sorted(sagas.items())
+            },
+            "late": tuple(late_acks),
+            "strays": tuple(stray_replies),
+            "reads": c.mail.read_digest(),
+            "trace": hasher.hexdigest(),
+        }
+
+    def test_every_saga_terminates_and_compensation_runs(self):
+        result = self._run()
+        outcomes = result["outcomes"]
+        assert len(outcomes) == 6
+        assert set(outcomes.values()) <= {
+            "completed", "compensated", "expired"
+        }
+        assert "compensating" not in outcomes.values()  # none stuck
+        assert list(outcomes.values()).count("completed") >= 3
+        assert outcomes[99] in ("compensated", "expired")
+        assert "compensated" in outcomes.values()
+        assert result["strays"] == ()  # every reply stayed correlated
+
+    def test_saga_runs_are_bit_identical(self):
+        assert self._run(seed=7) == self._run(seed=7)
+        assert self._run(seed=7)["trace"] != self._run(seed=8)["trace"]
+
+    def test_request_and_reply_thread_a_conversation(self):
+        c = build()
+        c.add_node("asker", daemon="host0")
+        c.add_node("oracle", daemon="host1")
+        answers = []
+        c.consumer("oracle", lambda mail: c.mail.reply(mail, 42))
+        c.consumer("asker", lambda mail: answers.append(
+            (mail.corr_id, mail.body)
+        ))
+        request = c.mail.request("oracle", "meaning?", frm="asker")
+        assert request.corr_id == request.id
+        c.run_to_quiescence()
+        assert answers == [(request.id, 42)]
+
+    def test_reply_to_user_mail_is_refused(self):
+        c = build()
+        c.add_node("peer", daemon="host1")
+        mail = c.send_mail("peer", "no return address")
+        with pytest.raises(ValueError, match="no reply address"):
+            c.mail.reply(mail, "to whom?")
