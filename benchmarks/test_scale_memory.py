@@ -1,0 +1,64 @@
+"""Memory guard: idle logical nodes must stay near-zero-cost.
+
+The scale layer's claim is that an *idle* LogicalNode — created, maybe
+hopped through later, holding no variables and no links yet — costs a
+fixed small number of bytes, so a 1M-node logical network fits in
+hundreds of MB rather than GB.  ``__slots__`` plus lazy
+``variables``/``links`` materialisation is what makes that true; this
+guard pins it with ``tracemalloc`` at 100k nodes so an accidental
+``__dict__`` regrowth or an eagerly-allocated per-node dict shows up as
+a hard failure, not a slow drift.
+
+The budget covers *everything* attributable to a node: the object
+itself, its name string, and its share of all three LogicalNetwork
+indices (global table, per-daemon shard, name bucket).  Measured
+~570 bytes/node at introduction; the budget leaves ~25% headroom for
+interpreter variance without letting a per-node dict (+~200 bytes)
+sneak in.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+from repro.messengers.logical import LogicalNetwork
+
+N_NODES = 100_000
+N_DAEMONS = 32
+BUDGET_BYTES_PER_NODE = 720
+
+
+def test_idle_node_memory_budget():
+    net = LogicalNetwork()
+    tracemalloc.start()
+    try:
+        before, _ = tracemalloc.get_traced_memory()
+        for index in range(N_NODES):
+            net.create_node(f"n{index}", f"d{index % N_DAEMONS}")
+        after, _ = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    per_node = (after - before) / N_NODES
+    assert per_node <= BUDGET_BYTES_PER_NODE, (
+        f"idle LogicalNode costs {per_node:.0f} bytes "
+        f"(budget {BUDGET_BYTES_PER_NODE}) — did a per-node dict or "
+        f"eager variables/links allocation creep back in?"
+    )
+
+
+def test_idle_nodes_stay_lazy():
+    """Creating and indexing nodes must not materialise their dicts."""
+    net = LogicalNetwork()
+    node = net.create_node("lazy", "d0")
+    # Queries that must not force materialisation.
+    assert net.find_named("lazy") == [node]
+    assert list(net.nodes_on("d0")) == [node]
+    assert node.degree() == 0
+    assert node.neighbors() == []
+    assert node._variables is None and node._links is None
+    # First real use materialises, once.
+    node.variables["x"] = 1
+    other = net.create_node("other", "d0")
+    net.create_link("l", node, other)
+    assert node._variables == {"x": 1}
+    assert node.degree() == 1

@@ -37,6 +37,7 @@ from .resilience_experiments import (
     run_detection_sweep,
     run_recovery_comparison,
 )
+from .scale_experiments import run_scale_bench
 from .shapes import (
     ShapeViolation,
     assert_faster_beyond,
@@ -86,6 +87,7 @@ __all__ = [
     "run_perf_report",
     "run_recovery_comparison",
     "run_replications",
+    "run_scale_bench",
     "run_service_bench",
     "run_service_scenario",
     "seed_sweep_experiment",

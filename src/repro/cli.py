@@ -326,7 +326,9 @@ def _cmd_search(args) -> int:
         # the payload worth keeping: report["minimal"]["plan"] is a
         # FaultPlan.to_dict() that FaultPlan.from_dict() replays
         # verbatim with report["minimal"]["seed"].
-        Path(args.out).write_text(
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
             json.dumps(report, indent=2, sort_keys=True) + "\n"
         )
         print(f"wrote {args.out}")
@@ -380,13 +382,19 @@ def _cmd_bench(args) -> int:
         blob = bench.run_mailbox_bench(repeats=args.repeats)
     elif args.which == "service":
         blob = bench.run_service_bench(repeats=args.repeats)
+    elif args.which == "scale":
+        blob = bench.run_scale_bench(
+            factors=args.factors, repeats=args.repeats
+        )
     else:  # sweep
         blob = bench.seed_sweep_experiment().run(processes=args.parallel)
     text = json.dumps(blob, indent=2, sort_keys=True)
     if args.out:
         from pathlib import Path
 
-        Path(args.out).write_text(text + "\n")
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
         print(f"wrote {args.out}")
     else:
         print(text)
@@ -537,9 +545,12 @@ def build_parser() -> argparse.ArgumentParser:
         "which",
         choices=[
             "perf", "throughput", "faults", "resilience", "mailbox",
-            "service", "sweep",
+            "service", "scale", "sweep",
         ],
     )
+    bench.add_argument("--factors", type=int, nargs="+", default=None,
+                       help="scale: subset of grid factors to run "
+                            "(default: the full 1..1000x sweep)")
     bench.add_argument("--parallel", type=int, default=1,
                        help="replication pool size (faults/sweep; "
                             "default 1 = serial)")

@@ -11,7 +11,17 @@ Public surface:
 * :class:`RngRegistry` — deterministic named RNG streams.
 """
 
-from .core import AllOf, AnyOf, Event, Simulator, Timeout
+from .core import (
+    SCHEDULER_KINDS,
+    AllOf,
+    AnyOf,
+    CalendarQueue,
+    Event,
+    Simulator,
+    Timeout,
+    scheduler_default,
+    set_default_scheduler,
+)
 from .errors import (
     EventAlreadyTriggered,
     Interrupt,
@@ -28,7 +38,11 @@ from .rng import RngRegistry
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "Event",
+    "SCHEDULER_KINDS",
+    "scheduler_default",
+    "set_default_scheduler",
     "EventAlreadyTriggered",
     "FilterStore",
     "Interrupt",

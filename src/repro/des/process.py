@@ -24,7 +24,6 @@ from .core import (
     PENDING,
     URGENT,
     _NO_WAITERS,
-    _heappush,
     _new_event,
 )
 from .errors import Interrupt, ProcessDead, SimulationError
@@ -46,7 +45,7 @@ class Initialize(Event):
         # Inline of ``sim.schedule(self, priority=URGENT)``.
         eid = sim._eid
         sim._eid = eid + 1
-        _heappush(sim._queue, (sim._now, URGENT, eid, False, self))
+        sim._push(sim._queue, (sim._now, URGENT, eid, False, self))
         sim._fg_pending += 1
 
 
@@ -99,7 +98,7 @@ class Process(Event):
         init.callbacks = [resume_cb]
         eid = sim._eid
         sim._eid = eid + 1
-        _heappush(sim._queue, (sim._now, URGENT, eid, False, init))
+        sim._push(sim._queue, (sim._now, URGENT, eid, False, init))
         sim._fg_pending += 1
         self._target: Optional[Event] = init
         sim._live_processes.add(self)
@@ -186,7 +185,7 @@ class Process(Event):
                     self._value = stop.value
                     eid = sim._eid
                     sim._eid = eid + 1
-                    _heappush(
+                    sim._push(
                         sim._queue, (sim._now, NORMAL, eid, False, self)
                     )
                     sim._fg_pending += 1

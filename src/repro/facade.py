@@ -56,7 +56,7 @@ import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional, Union
 
-from .des import Simulator
+from .des import SCHEDULER_KINDS, Simulator
 from .mailbox import MailboxConfig
 from .netsim import CostModel, DEFAULT_COSTS, Network, build_lan
 from .obs import MetricsRegistry, cost_breakdown, format_breakdown
@@ -116,6 +116,12 @@ class ClusterConfig:
         layers).  When a resilience policy is also armed, the
         ``no-request-lost`` / ``breaker-sanity`` invariants are wired
         into the suite automatically.
+    ``scheduler``
+        DES event-queue implementation: ``None`` (the process-wide
+        default, normally ``"heap"``), ``"heap"`` (binary heap) or
+        ``"calendar"`` (the O(1)-amortised calendar queue for very
+        large entity counts — see the README "Scale" section).  Both
+        drain in bit-identical order; this is purely a perf knob.
     """
 
     n_hosts: int = 4
@@ -129,11 +135,20 @@ class ClusterConfig:
     mailbox: Union[None, bool, MailboxConfig] = None
     service: Any = None
     name_prefix: str = "host"
+    scheduler: Optional[str] = None
 
     def __post_init__(self):
         if self.n_hosts < 1:
             raise ValueError(
                 f"need at least one host, got {self.n_hosts}"
+            )
+        if (
+            self.scheduler is not None
+            and self.scheduler not in SCHEDULER_KINDS
+        ):
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r} (choose from "
+                f"{', '.join(SCHEDULER_KINDS)})"
             )
         if (
             isinstance(self.topology, str)
@@ -198,7 +213,7 @@ class Cluster:
             config = replace(config, n_hosts=n_hosts)
         self.config = config
 
-        self.sim = Simulator()
+        self.sim = Simulator(scheduler=config.scheduler)
         self.costs = (
             config.costs if config.costs is not None else DEFAULT_COSTS
         )

@@ -101,8 +101,16 @@ class Daemon:
         """Receive Messengers (and create requests) from other daemons."""
         port = self.host.port(self.port_name)
         costs = self.system.costs
+        recycle = self.system.network.recycle
+        spent = None
         while True:
             packet = yield port.get()
+            if spent is not None:
+                # By the time a further arrival lands, the previous
+                # packet's delivery bookkeeping (its done event) is
+                # gone, so the object can go back to the free-list.
+                recycle(spent)
+            spent = packet
             kind, data = packet.payload
             metrics = self.sim.obs
             if self.retired:
@@ -215,7 +223,7 @@ class Daemon:
         if self.sim.obs is not None:
             self.sim.obs.count("messengers.forwarded")
         self.system.trace(messenger, "forward", self.name, f"-> {target}")
-        self.system.network.enqueue(Packet(
+        self.system.network.enqueue(self.system.network.packet(
             src=self.name,
             dst=target,
             port=self.port_name,
@@ -417,7 +425,7 @@ class Daemon:
                     replica, "hop", self.name,
                     f"-> {node.daemon} ({state}B)",
                 )
-                packet = Packet(
+                packet = self.system.network.packet(
                     src=self.name,
                     dst=node.daemon,
                     port=self.port_name,
@@ -507,7 +515,7 @@ class Daemon:
                 copy_cost += state * costs.msgr_state_local_per_byte_s
                 self.enqueue_ready(replica)
             else:
-                packet = Packet(
+                packet = self.system.network.packet(
                     src=self.name,
                     dst=daemon_name,
                     port=self.port_name,

@@ -52,14 +52,39 @@ class LogicalNode:
     Node variables (shared by all Messengers at the node, §2.1) live in
     :attr:`variables`.  ``name`` may be ``None`` for unnamed nodes; the
     unique ``uid`` disambiguates.
+
+    Scale note: the class uses ``__slots__``, and both containers are
+    *lazy* — ``variables`` and ``links`` materialise on first touch.  An
+    idle node (created, never written, never linked) is therefore one
+    fixed-size object with five slots and no owned containers, which is
+    what lets a logical network hold ~1M mostly-idle nodes
+    (``benchmarks/test_scale_memory.py`` pins the per-node budget).
     """
+
+    __slots__ = ("uid", "name", "daemon", "_variables", "_links")
 
     def __init__(self, uid: int, name: Optional[str], daemon: str):
         self.uid = uid
         self.name = name
         self.daemon = daemon
-        self.variables: dict[str, Any] = {}
-        self.links: list["LogicalLink"] = []
+        self._variables: Optional[dict[str, Any]] = None
+        self._links: Optional[list["LogicalLink"]] = None
+
+    @property
+    def variables(self) -> dict[str, Any]:
+        """Node variables, materialised on first access."""
+        variables = self._variables
+        if variables is None:
+            variables = self._variables = {}
+        return variables
+
+    @property
+    def links(self) -> list["LogicalLink"]:
+        """Incident links, materialised on first access."""
+        links = self._links
+        if links is None:
+            links = self._links = []
+        return links
 
     @property
     def display_name(self) -> str:
@@ -77,10 +102,14 @@ class LogicalNode:
 
     def neighbors(self) -> list["LogicalNode"]:
         """All nodes one link away."""
-        return [link.other(self) for link in self.links]
+        links = self._links
+        if links is None:
+            return []
+        return [link.other(self) for link in links]
 
     def degree(self) -> int:
-        return len(self.links)
+        links = self._links
+        return 0 if links is None else len(links)
 
     def __repr__(self) -> str:
         return f"<LogicalNode {self.display_name} @ {self.daemon}>"
@@ -93,6 +122,8 @@ class LogicalLink:
     direction.  Undirected links have ``directed=False`` and match any
     requested direction.
     """
+
+    __slots__ = ("uid", "name", "src", "dst", "directed")
 
     def __init__(
         self,
@@ -158,11 +189,28 @@ class LogicalNetwork:
     *costs* of distribution at the daemon layer.  The registry offers the
     queries daemons need: name lookup scoped to a daemon, global lookup
     for virtual links, and creation/deletion with singleton cleanup.
+
+    The registry is *sharded*: besides the global uid table it maintains
+    a per-daemon shard and a per-name bucket, so :meth:`nodes_on`,
+    :meth:`find_named` and virtual-hop resolution never scan the global
+    table — at ~1M nodes those scans were the dominant cost of daemon
+    injection and service-workload key lookup.  Every query still
+    returns nodes in ascending-uid order (the order the old full scans
+    produced, which fault-recovery and mailbox code rely on for
+    determinism): shards are insertion-ordered by creation, and the rare
+    :meth:`rehome` marks its destination shard for a lazy re-sort.
     """
 
     def __init__(self):
         self._uids = itertools.count(1)
         self._nodes: dict[int, LogicalNode] = {}
+        #: daemon name -> {uid: node}, ascending uid unless in _unsorted.
+        self._shards: dict[str, dict[int, LogicalNode]] = {}
+        #: node name -> {uid: node}; always ascending uid (names are
+        #: immutable, so only creation/deletion touch a bucket).
+        self._names: dict[str, dict[int, LogicalNode]] = {}
+        #: Shards whose uid order was broken by a rehome.
+        self._unsorted: set[str] = set()
 
     # -- creation ----------------------------------------------------------
 
@@ -171,8 +219,52 @@ class LogicalNetwork:
     ) -> LogicalNode:
         """Create a logical node on ``daemon``.  ``name=None`` = unnamed."""
         node = LogicalNode(next(self._uids), name, daemon)
-        self._nodes[node.uid] = node
+        uid = node.uid
+        self._nodes[uid] = node
+        shard = self._shards.get(daemon)
+        if shard is None:
+            shard = self._shards[daemon] = {}
+        shard[uid] = node
+        if name is not None:
+            bucket = self._names.get(name)
+            if bucket is None:
+                bucket = self._names[name] = {}
+            bucket[uid] = node
         return node
+
+    def rehome(self, node: LogicalNode, daemon: str) -> None:
+        """Move ``node`` to ``daemon`` (crash recovery, host churn).
+
+        The only supported way to change a node's residence — writing
+        ``node.daemon`` directly would leave the shards stale.
+        """
+        if node.daemon == daemon:
+            return
+        shard = self._shards.get(node.daemon)
+        if shard is not None:
+            shard.pop(node.uid, None)
+        node.daemon = daemon
+        shard = self._shards.get(daemon)
+        if shard is None:
+            shard = self._shards[daemon] = {}
+        shard[node.uid] = node
+        # The moved uid lands at the shard's insertion end regardless of
+        # magnitude; re-sort lazily on the next per-daemon read.
+        self._unsorted.add(daemon)
+
+    def _forget(self, node: LogicalNode) -> None:
+        """Drop ``node`` from every index (global, shard, name bucket)."""
+        uid = node.uid
+        del self._nodes[uid]
+        shard = self._shards.get(node.daemon)
+        if shard is not None:
+            shard.pop(uid, None)
+        if node.name is not None:
+            bucket = self._names.get(node.name)
+            if bucket is not None:
+                bucket.pop(uid, None)
+                if not bucket:
+                    del self._names[node.name]
 
     def create_link(
         self,
@@ -198,22 +290,25 @@ class LogicalNetwork:
         link.src.links.remove(link)
         link.dst.links.remove(link)
         for node in (link.src, link.dst):
-            if not node.links and node.uid in self._nodes:
+            if not node.degree() and node.uid in self._nodes:
                 # init nodes are permanent anchors; never collect them.
                 if node.name != "init":
-                    del self._nodes[node.uid]
+                    self._forget(node)
                     removed.append(node)
         return removed
 
     def delete_node(self, node: LogicalNode) -> None:
         """Remove a node and all of its links."""
-        for link in list(node.links):
+        links = node._links
+        for link in list(links) if links else ():
             if link in link.src.links:
                 link.src.links.remove(link)
             if link in link.dst.links:
                 link.dst.links.remove(link)
-        node.links.clear()
-        self._nodes.pop(node.uid, None)
+        if links:
+            links.clear()
+        if node.uid in self._nodes:
+            self._forget(node)
 
     # -- queries --------------------------------------------------------------
 
@@ -233,21 +328,78 @@ class LogicalNetwork:
         return len(self._nodes)
 
     def nodes_on(self, daemon: str) -> list[LogicalNode]:
-        """All nodes resident on one daemon."""
-        return [n for n in self._nodes.values() if n.daemon == daemon]
+        """All nodes resident on one daemon, in ascending-uid order.
+
+        O(size of the daemon's shard) — never a global scan.
+        """
+        shard = self._shards.get(daemon)
+        if not shard:
+            return []
+        if daemon in self._unsorted:
+            # A rehome appended an out-of-order uid; restore the sorted
+            # invariant once, then reads are cheap again.
+            shard = dict(sorted(shard.items()))
+            self._shards[daemon] = shard
+            self._unsorted.discard(daemon)
+        return list(shard.values())
 
     def find_named(
         self, name: str, daemon: Optional[str] = None
     ) -> list[LogicalNode]:
-        """All nodes with ``name`` (optionally restricted to a daemon)."""
-        return [
-            n
-            for n in self._nodes.values()
-            if n.name == name and (daemon is None or n.daemon == daemon)
-        ]
+        """All nodes with ``name`` (optionally restricted to a daemon).
+
+        O(nodes with that name) via the name bucket, ascending uid.
+        """
+        bucket = self._names.get(name)
+        if not bucket:
+            return []
+        if daemon is None:
+            return list(bucket.values())
+        return [n for n in bucket.values() if n.daemon == daemon]
 
     def contains(self, node: LogicalNode) -> bool:
         return node.uid in self._nodes
+
+    def _match_name(self, pattern: str) -> list[LogicalNode]:
+        """All nodes whose :meth:`LogicalNode.matches` accepts ``pattern``
+        (a concrete name, never ``ANY``), in ascending-uid order.
+
+        Index-backed equivalent of scanning the global table: the name
+        bucket covers named nodes; a ``~<uid>`` pattern additionally
+        matches the unnamed node with that uid by display name.
+        """
+        bucket = self._names.get(pattern)
+        matched = dict(bucket) if bucket else {}
+        if pattern.startswith(UNNAMED):
+            try:
+                uid = int(pattern[1:])
+            except ValueError:
+                pass
+            else:
+                node = self._nodes.get(uid)
+                if node is not None and node.name is None:
+                    matched[uid] = node
+        if len(matched) > 1:
+            return [node for _uid, node in sorted(matched.items())]
+        return list(matched.values())
+
+    def resolve(
+        self, pattern: str, daemon: Optional[str] = None
+    ) -> list[LogicalNode]:
+        """Nodes matching a destination ``pattern`` (name, ``~<uid>`` or
+        ``ANY``), optionally restricted to one daemon — ascending uid.
+
+        Index-backed replacement for filtering :meth:`nodes_on` through
+        :meth:`LogicalNode.matches` (what daemon injection used to do).
+        """
+        if pattern == ANY:
+            if daemon is None:
+                return list(self._nodes.values())
+            return self.nodes_on(daemon)
+        matched = self._match_name(pattern)
+        if daemon is None:
+            return matched
+        return [node for node in matched if node.daemon == daemon]
 
     def match_moves(
         self,
@@ -270,8 +422,8 @@ class LogicalNetwork:
                 raise ValueError("virtual hop requires a concrete node name")
             return [
                 (None, node)
-                for node in self._nodes.values()
-                if node.matches(node_pattern) and node is not current
+                for node in self._match_name(node_pattern)
+                if node is not current
             ]
         moves = []
         for link in current.links:

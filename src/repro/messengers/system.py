@@ -10,6 +10,7 @@ outside (the command shell) at runtime", §1).
 from __future__ import annotations
 
 import itertools
+from sys import getrefcount as _getrefcount
 from typing import Any, Optional, Sequence, Union
 
 from ..des import SimulationError, Simulator
@@ -95,6 +96,14 @@ class MessengersSystem:
         self.messengers: dict[int, Messenger] = {}
         #: Messengers that finished (or were lost) with their fates.
         self.finished: list[tuple[Messenger, str]] = []
+        #: Keep finished Messengers in :attr:`messengers` /
+        #: :attr:`finished` for forensics (the default).  Scale
+        #: workloads with millions of short-lived Messengers set this
+        #: False: a finished Messenger is dropped from the tables and
+        #: its object parked on a free-list for the next injection, so
+        #: memory stays proportional to the *live* population.
+        self.retain_finished = True
+        self._messenger_pool: list[Messenger] = []
         self.log_lines: list[str] = []
         #: Script/native errors caught by daemons (the daemons survive;
         #: :meth:`run_to_quiescence` re-raises the first one).
@@ -199,19 +208,15 @@ class MessengersSystem:
                 f"daemon {daemon_name!r} has left the cluster"
             )
 
-        candidates = [
-            n
-            for n in self.logical.nodes_on(daemon_name)
-            if n.matches(node)
-        ]
+        candidates = self.logical.resolve(node, daemon_name)
         if not candidates:
             raise KeyError(
                 f"no node matching {node!r} on daemon {daemon_name!r}"
             )
         start_node = candidates[0]
 
-        messenger = Messenger(
-            program, dict(zip(program.params, args)), vt=vt
+        messenger = self._obtain_messenger(
+            program, dict(zip(program.params, args)), vt
         )
         messenger.node = start_node
         self.messengers[messenger.id] = messenger
@@ -285,6 +290,24 @@ class MessengersSystem:
         if self.active_count == 0:
             self.vtime.on_quiescent()
 
+    def _obtain_messenger(
+        self, program: Program, variables: dict, vt: float
+    ) -> Messenger:
+        """A fresh Messenger, reincarnated from the free-list if possible.
+
+        A pooled object is reused only when its refcount proves the pool
+        holds the sole reference — a daemon or test still holding a
+        finished Messenger keeps it alive, and that object is simply
+        dropped from the pool instead of being reused under them.
+        """
+        pool = self._messenger_pool
+        while pool:
+            messenger = pool.pop()
+            if _getrefcount(messenger) == 2:  # this frame + the argument
+                messenger.reinit(program, variables, vt)
+                return messenger
+        return Messenger(program, variables, vt=vt)
+
     def register_replica(self, replica: Messenger) -> None:
         """Admit a clone produced by hop replication / create(ALL)."""
         self.messengers[replica.id] = replica
@@ -294,7 +317,12 @@ class MessengersSystem:
         """A Messenger terminated (script finished or no hop match)."""
         messenger.kill()
         self._checkpoints.pop(messenger.id, None)
-        self.finished.append((messenger, "lost" if lost else "done"))
+        if self.retain_finished:
+            self.finished.append((messenger, "lost" if lost else "done"))
+        else:
+            self.messengers.pop(messenger.id, None)
+            if len(self._messenger_pool) < 4096:
+                self._messenger_pool.append(messenger)
         metrics = self.sim.obs
         if metrics is not None:
             metrics.count(
@@ -467,7 +495,7 @@ class MessengersSystem:
         if alive:
             dead_nodes = self.logical.nodes_on(name)
             for index, node in enumerate(dead_nodes):
-                node.daemon = alive[index % len(alive)]
+                self.logical.rehome(node, alive[index % len(alive)])
             if faults is not None and dead_nodes:
                 faults.count("nodes_rehomed", len(dead_nodes))
 
@@ -640,7 +668,7 @@ class MessengersSystem:
         # retired pump forwards whatever was already on the wire.
         moved_nodes = self.logical.nodes_on(name)
         for index, node in enumerate(moved_nodes):
-            node.daemon = survivors[index % len(survivors)]
+            self.logical.rehome(node, survivors[index % len(survivors)])
         daemon.retired = True
         self.daemon_graph.remove_daemon(name)
         self._placement_rotation.clear()

@@ -12,7 +12,7 @@ Entry point: configure a cluster with
 ``cluster.service.run("messengers")`` or ``.run("pvm")``.
 """
 
-from .arrivals import arrival_times
+from .arrivals import arrival_times, iter_arrival_times
 from .config import ARRIVAL_KINDS, ServiceConfig
 from .degradation import (
     CLOSED,
@@ -48,5 +48,6 @@ __all__ = [
     "ServiceWorkload",
     "TERMINAL_OUTCOMES",
     "arrival_times",
+    "iter_arrival_times",
     "retry_schedule",
 ]

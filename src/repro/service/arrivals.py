@@ -1,54 +1,61 @@
 """Open-loop arrival processes on named RNG streams.
 
-All three generators are pure functions of ``(config, rng)``: the same
-stream state always produces the same arrival-time list, which is what
-makes a whole service run replayable from one root seed.  The
+All three processes are pure functions of ``(config, rng)``: the same
+stream state always produces the same arrival-time sequence, which is
+what makes a whole service run replayable from one root seed.  The
 non-homogeneous processes (bursty, diurnal) use Lewis thinning — a
 homogeneous candidate stream at the peak rate, with each candidate
 accepted with probability ``rate(t) / peak`` — so their *mean* offered
 load equals ``rate_rps`` exactly, and the shape knobs only move traffic
 around in time.
+
+:func:`iter_arrival_times` is the streaming form — arrivals are drawn
+on demand, one at a time, so an open-loop source holds O(1) memory no
+matter how long the run (the scale-layer contract).  It consumes
+``rng`` in exactly the order the old precomputed-list form did, so
+traces are byte-identical; :func:`arrival_times` remains as the
+materialised convenience wrapper.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, List
+from typing import Callable, Iterator, List
 
 from .config import ServiceConfig
 
-__all__ = ["arrival_times"]
+__all__ = ["arrival_times", "iter_arrival_times"]
 
 
-def _homogeneous(rate: float, duration: float, rng) -> List[float]:
-    times: List[float] = []
+def _homogeneous(rate: float, duration: float, rng) -> Iterator[float]:
     t = 0.0
     while True:
         t += rng.expovariate(rate)
         if t >= duration:
-            return times
-        times.append(t)
+            return
+        yield t
 
 
 def _thinned(
     peak: float, rate_at: Callable[[float], float], duration: float, rng
-) -> List[float]:
-    times: List[float] = []
+) -> Iterator[float]:
     t = 0.0
     while True:
         t += rng.expovariate(peak)
         if t >= duration:
-            return times
+            return
         if rng.random() < rate_at(t) / peak:
-            times.append(t)
-    return times
+            yield t
 
 
-def arrival_times(config: ServiceConfig, rng) -> List[float]:
-    """Arrival instants in ``[0, duration_s)``, sorted, from ``rng``.
+def iter_arrival_times(config: ServiceConfig, rng) -> Iterator[float]:
+    """Arrival instants in ``[0, duration_s)``, ascending, on demand.
 
     ``rng`` is one named :class:`~repro.des.rng.RngRegistry` stream
-    (conventionally ``"service.arrivals"``).
+    (conventionally ``"service.arrivals"``).  Each ``next()`` draws
+    just enough randomness for one more arrival, in the same stream
+    order as the precomputed form — an open-loop driver that consumes
+    this lazily keeps O(1) arrival state.
     """
     rate = config.rate_rps
     duration = config.duration_s
@@ -76,3 +83,8 @@ def arrival_times(config: ServiceConfig, rng) -> List[float]:
         return rate * (1.0 + depth * math.sin(2.0 * math.pi * t / period))
 
     return _thinned(peak, diurnal_rate, duration, rng)
+
+
+def arrival_times(config: ServiceConfig, rng) -> List[float]:
+    """Materialised :func:`iter_arrival_times` (sorted by construction)."""
+    return list(iter_arrival_times(config, rng))

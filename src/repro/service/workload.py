@@ -36,7 +36,7 @@ from typing import Dict, Optional, Tuple
 
 from ..des.rng import RngRegistry
 from ..obs.registry import Histogram
-from .arrivals import arrival_times
+from .arrivals import iter_arrival_times
 from .config import ServiceConfig
 from .degradation import AdmissionController, CircuitBreaker, retry_schedule
 from .invariants import BreakerSanity, NoRequestLost, RequestBook
@@ -118,18 +118,21 @@ class ServiceWorkload:
     def count(self, key: str, n: int = 1) -> None:
         self.counts[key] = self.counts.get(key, 0) + n
 
-    def generate_requests(self) -> list[Request]:
-        """The full request stream, precomputed on named RNG streams.
+    def iter_requests(self):
+        """The request stream, generated on demand from named RNG streams.
 
         Three independent streams — arrival instants, key choice, retry
         jitter — so perturbing one (e.g. sweeping the arrival shape)
-        never re-randomizes the others.
+        never re-randomizes the others.  Each stream is consumed in the
+        same per-stream order whether requests are drawn lazily (this
+        generator, O(1) arrival state — the scale-layer form the
+        drivers use) or all at once (:meth:`generate_requests`), so the
+        two forms produce identical traces.
         """
         cfg = self.config
-        times = arrival_times(cfg, self.rng.stream("service.arrivals"))
+        times = iter_arrival_times(cfg, self.rng.stream("service.arrivals"))
         key_rng = self.rng.stream("service.keys")
         retry_rng = self.rng.stream("service.retry")
-        requests = []
         for rid, t in enumerate(times, start=1):
             key = f"key{key_rng.randrange(cfg.n_keys)}"
             if cfg.degradation:
@@ -144,10 +147,11 @@ class ServiceWorkload:
                 # No retries, no early timeout: one attempt that waits
                 # out the whole deadline.
                 timeouts = (cfg.deadline_s,)
-            requests.append(
-                Request(rid, t, key, t + cfg.deadline_s, timeouts)
-            )
-        return requests
+            yield Request(rid, t, key, t + cfg.deadline_s, timeouts)
+
+    def generate_requests(self) -> list[Request]:
+        """Materialised :meth:`iter_requests` (tests and offline tools)."""
+        return list(self.iter_requests())
 
     def breaker_for(self, target: str) -> CircuitBreaker:
         breaker = self.breakers.get(target)
@@ -249,8 +253,9 @@ class ServiceWorkload:
             cluster.schedule(join_at, lambda c: c.join_host())
             cluster.schedule(leave_at, lambda c: c.leave_host(leaver))
         program = system.compile(SERVICE_SCRIPT)
-        requests = self.generate_requests()
-        cluster.sim.process(self._drive_messengers(requests, program))
+        cluster.sim.process(
+            self._drive_messengers(self.iter_requests(), program)
+        )
         cluster.run_to_quiescence()
         self._final_check()
         return self.stats()
@@ -335,8 +340,7 @@ class ServiceWorkload:
             cluster.schedule(
                 leave_at, lambda c: self._pvm_drain(leaver)
             )
-        requests = self.generate_requests()
-        cluster.sim.process(self._drive_pvm(requests))
+        cluster.sim.process(self._drive_pvm(self.iter_requests()))
         cluster.run()
         self._final_check()
         return self.stats()

@@ -171,3 +171,35 @@ class TestStats:
             "--opcodes", "--trace", str(tmp_path / "t.json"),
         ]) == 0
         assert "opcode=" in capsys.readouterr().out
+
+
+class TestBenchOut:
+    def test_bench_scale_out_creates_parent_dirs(self, tmp_path, capsys):
+        import json
+
+        # A fresh artifacts dir that does not exist yet: CI writes
+        # BENCH blobs into per-run directories, so the CLI must mkdir.
+        out = tmp_path / "artifacts" / "scale" / "BENCH_scale.json"
+        assert main([
+            "bench", "scale", "--factors", "1", "--out", str(out),
+        ]) == 0
+        assert str(out) in capsys.readouterr().out
+        blob = json.loads(out.read_text())
+        points = blob["current"]["points"]
+        assert [p["factor"] for p in points] == [1]
+        assert points[0]["events"] == blob["baseline"]["points"]["1"][
+            "events"
+        ]
+        # Both schedulers measured, simulated results asserted equal
+        # inside the driver.
+        assert set(points[0]["events_per_sec"]) == {"calendar", "heap"}
+
+    def test_search_out_creates_parent_dirs(self, tmp_path):
+        out = tmp_path / "deep" / "nested" / "report.json"
+        status = main([
+            "search", "--system", "pvm", "--image", "32", "--grid", "2",
+            "--procs", "2", "--schedules", "1", "--depth", "1",
+            "--loss", "0", "--out", str(out),
+        ])
+        assert status == 0
+        assert out.exists()
