@@ -1,0 +1,106 @@
+"""CONVERSATIONS-PERF — the conversations bench versus
+``BENCH_conversations.json``.
+
+Two guards with different portability, mirroring the mailbox suite:
+
+* The *simulated* side of every scenario (chain outcomes, per-side
+  goodput during the partition, convergence time after heal, the
+  lifecycle and read-set digests, the anti-entropy counters) is
+  deterministic — it must match the committed blob bit-for-bit on any
+  host.  A mismatch means replication or the delivery lifecycle
+  changed behaviour, not that the machine got slower.
+* The *wall-clock* side (``conv_ops_per_sec``) moves with the host;
+  the smoke gate allows a 25% regression against the committed number
+  before failing, plus a deliberately loose absolute floor that
+  catches catastrophic slowdowns on any machine.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.conversations_experiments import (
+    BASELINE,
+    run_conversations_bench,
+)
+
+BENCH_CONVERSATIONS = (
+    Path(__file__).resolve().parents[1] / "BENCH_conversations.json"
+)
+
+_SIMULATED_KEYS = (
+    "chains", "compensated_work_items", "delivered", "read_digest",
+    "lifecycle_digest", "replicas_converged", "makespan_s",
+    "mail_counts", "replication", "pending_at_quiescence",
+)
+_PARTITION_KEYS = ("goodput_during_partition", "convergence_time_s")
+
+
+def _blob():
+    if not hasattr(_blob, "cached"):
+        _blob.cached = run_conversations_bench(repeats=2)
+    return _blob.cached
+
+
+def test_committed_blob_matches_module_baseline():
+    committed = json.loads(BENCH_CONVERSATIONS.read_text())
+    assert committed["baseline"] == BASELINE, (
+        "BENCH_conversations.json is out of sync with "
+        "repro.bench.conversations_experiments.BASELINE — regenerate "
+        "it with `python -m repro bench conversations "
+        "--out BENCH_conversations.json`"
+    )
+
+
+def test_simulated_results_are_bit_identical_to_committed(show):
+    committed = json.loads(BENCH_CONVERSATIONS.read_text())
+    measured = _blob()["current"]["scenarios"]
+    for name, pinned in committed["current"]["scenarios"].items():
+        current = measured[name]
+        keys = _SIMULATED_KEYS + (
+            _PARTITION_KEYS if name == "partition" else ()
+        )
+        for key in keys:
+            assert current[key] == pinned[key], (
+                f"scenario {name!r}: simulated {key} diverged from the "
+                f"committed BENCH_conversations.json ({current[key]!r} "
+                f"vs {pinned[key]!r}) — replication changed behaviour"
+            )
+        show(
+            f"{name:<13} chains={current['chains']} "
+            f"delivered={current['delivered']} "
+            f"digest={current['lifecycle_digest'][:12]} "
+            "(matches committed)"
+        )
+
+
+def test_partition_scenario_shows_both_sides_accepting(show):
+    committed = json.loads(BENCH_CONVERSATIONS.read_text())
+    partition = committed["current"]["scenarios"]["partition"]
+    goodput = partition["goodput_during_partition"]
+    show(
+        f"goodput during partition: side a={goodput['a']} "
+        f"side b={goodput['b']}; convergence "
+        f"{partition['convergence_time_s'] * 1e3:.1f}ms after heal"
+    )
+    # Both partition sides kept accepting quorum-acked mail, replicas
+    # converged within a bounded window after heal.
+    assert goodput["a"] > 0 and goodput["b"] > 0
+    assert 0.0 < partition["convergence_time_s"] < 0.5
+    assert partition["replicas_converged"]
+
+
+def test_conv_ops_within_25pct_of_committed(show):
+    committed = json.loads(BENCH_CONVERSATIONS.read_text())
+    pinned = committed["baseline"]["conv_ops_per_sec"]
+    measured = _blob()["current"]["conv_ops_per_sec"]
+    show(
+        f"conversation ops: {measured:,.0f}/s wall "
+        f"(committed {pinned:,.0f}/s, ratio {measured / pinned:.2f})"
+    )
+    assert measured >= 0.75 * pinned, (
+        f"conversations wall throughput regressed >25% against the "
+        f"committed BENCH_conversations.json baseline "
+        f"({measured:,.0f}/s vs {pinned:,.0f}/s)"
+    )
+    # Loose absolute floor: catches disasters regardless of host speed.
+    assert measured > 500

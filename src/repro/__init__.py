@@ -82,6 +82,7 @@ from .mailbox import (
     MailboxConfig,
     MailboxService,
     NoDoubleRead,
+    NoLiveDaemonError,
     NoLostMail,
 )
 from .messengers import (
@@ -109,6 +110,7 @@ from .obs import (
     to_chrome_trace,
     to_jsonl,
 )
+from .replication import ReplicationConfig, ReplicationService
 from .resilience import (
     InvariantViolation,
     ResiliencePolicy,
@@ -119,7 +121,7 @@ from .resilience import (
 )
 from .service import ServiceConfig, ServiceWorkload
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CATEGORIES",
@@ -146,8 +148,11 @@ __all__ = [
     "NativeRegistry",
     "Network",
     "NoDoubleRead",
+    "NoLiveDaemonError",
     "NoLostMail",
     "PackBuffer",
+    "ReplicationConfig",
+    "ReplicationService",
     "ResiliencePolicy",
     "ResilienceSuite",
     "RestartPolicy",

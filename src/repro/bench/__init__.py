@@ -23,6 +23,10 @@ from .matmul_experiments import (
     blocking_speedup_model,
     run_block_size_sweep,
 )
+from .conversations_experiments import (
+    run_conversations_bench,
+    run_conversations_scenario,
+)
 from .mailbox_experiments import run_mailbox_bench, run_mailbox_scenario
 from .perf_experiments import run_perf_report
 from .service_experiments import (
@@ -78,6 +82,8 @@ __all__ = [
     "crossover_interval",
     "format_table",
     "run_block_size_sweep",
+    "run_conversations_bench",
+    "run_conversations_scenario",
     "run_detection_sweep",
     "run_figure",
     "run_loss_sweep",

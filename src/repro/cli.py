@@ -31,14 +31,18 @@ Commands
     writes the JSON report — including the shrunk minimal FaultPlan,
     replayable via ``FaultPlan.from_dict`` — to disk.  Exits non-zero
     when a violation is found.
-``bench {perf,throughput,faults,resilience,mailbox,service,sweep} [--parallel N]``
+``bench {perf,throughput,faults,resilience,mailbox,conversations,service,scale,sweep} [--parallel N]``
     Run a benchmark suite and emit the JSON blob the committed
     ``BENCH_*.json`` files are made of (stdout, or ``--out FILE``).
     ``perf`` is the throughput report behind ``BENCH_perf.json``;
     ``throughput`` is just its microbenchmarks; ``faults`` /
     ``resilience`` regenerate the fault and resilience sweeps;
     ``mailbox`` measures mail delivery latency and throughput under
-    churn and 5% loss (``BENCH_mailbox.json``); ``service`` sweeps the
+    churn and 5% loss (``BENCH_mailbox.json``); ``conversations``
+    drives saga chains with compensation over replicated mailboxes
+    through a partition and churn (``BENCH_conversations.json``:
+    per-side goodput during the cut, convergence time after heal,
+    anti-entropy overhead); ``service`` sweeps the
     open-loop service workload across offered load, faults, and churn
     on both systems (``BENCH_service.json``); and ``sweep`` runs the
     seed-replication demo experiment.  ``--parallel N`` fans
@@ -380,6 +384,8 @@ def _cmd_bench(args) -> int:
         }
     elif args.which == "mailbox":
         blob = bench.run_mailbox_bench(repeats=args.repeats)
+    elif args.which == "conversations":
+        blob = bench.run_conversations_bench(repeats=args.repeats)
     elif args.which == "service":
         blob = bench.run_service_bench(repeats=args.repeats)
     elif args.which == "scale":
@@ -545,7 +551,7 @@ def build_parser() -> argparse.ArgumentParser:
         "which",
         choices=[
             "perf", "throughput", "faults", "resilience", "mailbox",
-            "service", "scale", "sweep",
+            "conversations", "service", "scale", "sweep",
         ],
     )
     bench.add_argument("--factors", type=int, nargs="+", default=None,

@@ -302,6 +302,14 @@ class Cluster:
         if self.resilience is not None:
             self.resilience.add_invariant(NoLostMail(service))
             self.resilience.add_invariant(NoDoubleRead(service))
+            if service.replication is not None:
+                from .replication import (
+                    QuorumLiveness,
+                    ReplicaConvergence,
+                )
+
+                self.resilience.add_invariant(ReplicaConvergence(service))
+                self.resilience.add_invariant(QuorumLiveness(service))
         self._mail = service
         return service
 
@@ -669,6 +677,28 @@ class Experiment:
     ) -> "Experiment":
         """Arm the durable mailbox layer on the run."""
         self._config = replace(self._config, mailbox=config)
+        return self
+
+    def replication(self, config: Any = True) -> "Experiment":
+        """Replicate the mailbox layer (arming it if not configured).
+
+        Accepts a :class:`~repro.replication.ReplicationConfig` or
+        ``True`` for the defaults (factor 2, majority quorum); the
+        mailbox layer is armed implicitly when this step runs first.
+        """
+        from .replication import ReplicationConfig
+
+        if config is True:
+            config = ReplicationConfig()
+        mailbox = self._config.mailbox
+        base = (
+            mailbox
+            if isinstance(mailbox, MailboxConfig)
+            else MailboxConfig()
+        )
+        self._config = replace(
+            self._config, mailbox=replace(base, replication=config)
+        )
         return self
 
     def service(self, config: Any) -> "Experiment":

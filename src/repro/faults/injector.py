@@ -108,6 +108,7 @@ class FaultInjector:
             self.count("heals")
             self._instant("heal", {"a": event.host, "b": event.peer})
             self.partitions.discard(frozenset((event.host, event.peer)))
+            self.network.notify_heal(event.host, event.peer)
         elif event.kind == HANG:
             self.count("hangs")
             self._instant(

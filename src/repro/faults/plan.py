@@ -247,8 +247,13 @@ class FaultPlan:
         hosts the cluster does not have, a restart of a host that never
         crashed, a second crash without an intervening restart, and
         overlapping partition intervals (or a heal with no matching
-        partition) on the same link.  The injector calls this at arm
-        time with the live network's host list.
+        partition) on the same link.  Partition/heal windows are checked
+        in virtual-time order (``sorted_events``), so an unordered pair
+        — a heal scheduled *before* its partition — is rejected as a
+        heal of an uncut link, and timed events must name concrete
+        hosts (``None`` wildcards are only meaningful for rate keys).
+        The injector calls this at arm time with the live network's
+        host list.
         """
         known = set(host_names) if host_names is not None else None
 
@@ -258,6 +263,14 @@ class FaultPlan:
                     f"{what} names unknown host {name!r}; cluster has "
                     f"{sorted(known)}"
                 )
+
+        def require_host(name, what):
+            if name is None:
+                raise FaultPlanError(
+                    f"{what} must name a concrete host, not None "
+                    "(wildcards are only meaningful for rates)"
+                )
+            check_host(name, what)
 
         for table, label in (
             (self._drop, "drop"),
@@ -271,8 +284,13 @@ class FaultPlan:
         down: set[str] = set()
         cut: set[frozenset] = set()
         for event in self.sorted_events():
-            check_host(event.host, f"{event.kind} event at t={event.at}")
-            check_host(event.peer, f"{event.kind} event at t={event.at}")
+            require_host(event.host, f"{event.kind} event at t={event.at}")
+            if event.kind in (PARTITION, HEAL):
+                require_host(
+                    event.peer, f"{event.kind} peer at t={event.at}"
+                )
+            else:
+                check_host(event.peer, f"{event.kind} event at t={event.at}")
             if event.kind == CRASH:
                 if event.host in down:
                     raise FaultPlanError(

@@ -5,7 +5,14 @@ invariants that keep the exactly-once story honest under faults and
 churn.  See DESIGN.md row 14 and the "Mailboxes & churn" section of the
 README."""
 
-from .core import LIFECYCLE, Mail, Mailbox, MailboxConfig, MailboxService
+from .core import (
+    LIFECYCLE,
+    Mail,
+    Mailbox,
+    MailboxConfig,
+    MailboxService,
+    NoLiveDaemonError,
+)
 from .invariants import NoDoubleRead, NoLostMail
 from .natives import register_mailbox_natives
 
@@ -16,6 +23,7 @@ __all__ = [
     "MailboxConfig",
     "MailboxService",
     "NoDoubleRead",
+    "NoLiveDaemonError",
     "NoLostMail",
     "register_mailbox_natives",
 ]

@@ -34,11 +34,18 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Union
 
-from ..des import Store
+from ..des import SimulationError, Store
 from ..messengers.logical import LogicalNode
 from ..netsim import Packet
 
-__all__ = ["LIFECYCLE", "Mail", "Mailbox", "MailboxConfig", "MailboxService"]
+__all__ = [
+    "LIFECYCLE",
+    "Mail",
+    "Mailbox",
+    "MailboxConfig",
+    "MailboxService",
+    "NoLiveDaemonError",
+]
 
 #: The delivery lifecycle, in order.  A mail's status only moves right.
 LIFECYCLE = ("sent", "delivered", "seen", "processed", "read")
@@ -47,6 +54,13 @@ _STAGE = {status: index for index, status in enumerate(LIFECYCLE)}
 
 #: Fixed per-mail wire overhead (headers, envelope) in bytes.
 ENVELOPE_BYTES = 96
+
+
+class NoLiveDaemonError(SimulationError):
+    """Every daemon is dead or retired: there is nowhere to send mail
+    from (or forward it to).  Raised instead of letting the send path
+    fail with an unhelpful iteration error so callers — and the
+    invariant monitor — can tell 'cluster is gone' from a code bug."""
 
 
 @dataclass
@@ -77,6 +91,11 @@ class Mail:
     #: Last dispatch endpoints (for failure replay).
     src_daemon: str = ""
     dst_daemon: str = ""
+    #: Logical write origin, stamped once at first dispatch: the daemon
+    #: that coordinated the write and its per-(mailbox, origin) write
+    #: sequence number — the version-vector component replicas track.
+    origin: str = ""
+    oseq: int = 0
 
     @property
     def stage(self) -> int:
@@ -157,10 +176,12 @@ class Mailbox:
     def mark_seen(self, mail: Mail) -> None:
         if mail.advance("seen"):
             self.service.count("seen")
+            self.service._note_stage(self, mail)
 
     def mark_processed(self, mail: Mail) -> None:
         if mail.advance("processed"):
             self.service.count("processed")
+            self.service._note_stage(self, mail)
 
     def read(self, mail: Mail) -> Any:
         """Consume ``mail`` exactly once; a second read is refused.
@@ -181,6 +202,7 @@ class Mailbox:
         mail.advance("read")
         self.service.count("read")
         self.service._read_log.append((self.node.uid, mail.id))
+        self.service._note_stage(self, mail)
         return mail.body
 
     def __repr__(self) -> str:
@@ -197,17 +219,32 @@ class MailboxConfig:
     ``poll_interval_s`` is the default cadence of poll-mode consumers;
     ``auto_create`` lets :meth:`MailboxService.send` conjure the
     recipient's mailbox on first use (off = sending to a node that
-    never registered raises).
+    never registered raises).  ``replication`` hangs a
+    :class:`~repro.replication.ReplicationConfig` off the layer: with a
+    factor >= 2 every mailbox is spread over a replica set of daemons,
+    writes are quorum-acked, and gossip anti-entropy keeps the replicas
+    convergent across partitions (``None`` — the default — arms
+    nothing: the single-copy dispatch path is byte-identical to a
+    replication-free build).
     """
 
     poll_interval_s: float = 0.05
     auto_create: bool = True
+    replication: Optional[Any] = None
 
     def __post_init__(self):
         if self.poll_interval_s <= 0:
             raise ValueError(
                 f"poll interval must be positive, got {self.poll_interval_s}"
             )
+        if self.replication is not None:
+            from ..replication import ReplicationConfig
+
+            if not isinstance(self.replication, ReplicationConfig):
+                raise TypeError(
+                    "replication must be a ReplicationConfig or None, "
+                    f"got {self.replication!r}"
+                )
 
 
 NodeRef = Union[LogicalNode, int, str]
@@ -243,6 +280,14 @@ class MailboxService:
         self._read_log: list[tuple[int, int]] = []
         self._consumers: list = []
         self._pumps_started: set[str] = set()
+        #: Replica sets + gossip anti-entropy (None = single-copy mode,
+        #: byte-identical to a replication-free build).
+        self.replication = None
+        repl_config = self.config.replication
+        if repl_config is not None and repl_config.factor >= 2:
+            from ..replication import ReplicationService
+
+            self.replication = ReplicationService(self, repl_config)
         system.network.set_reliable(self.port_name)
         system.network.add_failure_listener(self._on_host_failure)
         system.mailboxes = self
@@ -270,6 +315,29 @@ class MailboxService:
         """Content digest of the read set, for bit-identity assertions."""
         blob = repr(self._read_log).encode("utf-8")
         return hashlib.sha1(blob).hexdigest()
+
+    def lifecycle_digest(self) -> str:
+        """Digest of every mailbox's full lifecycle state.
+
+        Covers ``(uid, mail id, stage)`` for all delivered mail — the
+        per-mailbox shape the anti-entropy layer gossips between
+        replicas (:meth:`~repro.replication.ReplicaState.digest` is the
+        per-replica analogue), and the thing that must agree across the
+        cluster once a partition heals and gossip quiesces.
+        """
+        entries = []
+        for uid in sorted(self._boxes):
+            box = self._boxes[uid]
+            entries.extend(
+                (uid, mid, box._mails[mid].stage)
+                for mid in sorted(box._mails)
+            )
+        return hashlib.sha1(repr(entries).encode("utf-8")).hexdigest()
+
+    def _note_stage(self, box: "Mailbox", mail: Mail) -> None:
+        """Tell the home replica about a lifecycle advancement."""
+        if self.replication is not None:
+            self.replication.note_stage(box.node.uid, mail)
 
     # -- mailbox access -------------------------------------------------------
 
@@ -322,7 +390,11 @@ class MailboxService:
             daemon = self.system.daemons[name]
             if not daemon.dead and not daemon.retired:
                 return name
-        raise RuntimeError("no live daemon to send mail from")
+        raise NoLiveDaemonError(
+            "no live daemon to send mail from: all "
+            f"{len(self.system.daemon_names)} daemon(s) are dead or "
+            "retired"
+        )
 
     def send(
         self,
@@ -447,7 +519,16 @@ class MailboxService:
     # -- delivery -----------------------------------------------------------
 
     def _dispatch(self, mail: Mail, origin: str) -> None:
-        """Put ``mail`` on the wire toward its recipient's home daemon."""
+        """Put ``mail`` on the wire toward its recipient's home daemon.
+
+        With replication armed the write fans out to the whole replica
+        set instead (quorum-acked at the receiving pumps); without it
+        this is the single-copy path, byte-identical to a
+        replication-free build.
+        """
+        if self.replication is not None:
+            self.replication.dispatch(mail, origin)
+            return
         box = self._boxes[mail.to_uid]
         dest = box.node.daemon
         mail.src_daemon = origin
@@ -477,7 +558,27 @@ class MailboxService:
         costs = self.system.costs
         while True:
             packet = yield port.get()
-            _kind, mail = packet.payload
+            kind, mail = packet.payload
+            if kind == "repl":
+                yield self.sim.process(
+                    daemon.host.busy(
+                        costs.hop_dispatch_s,
+                        category="dispatch",
+                        label="mail.gossip",
+                    )
+                )
+                self.replication.on_gossip(daemon.name, mail)
+                continue
+            if kind == "rmail":
+                yield self.sim.process(
+                    daemon.host.busy(
+                        costs.hop_dispatch_s,
+                        category="dispatch",
+                        label="mail.replica",
+                    )
+                )
+                self.replication.on_rmail(daemon.name, mail)
+                continue
             box = self._boxes.get(mail.to_uid)
             if box is None:  # pragma: no cover - boxes are never dropped
                 continue
@@ -512,15 +613,27 @@ class MailboxService:
                     label="mail.deliver",
                 )
             )
-            self._pending.pop(mail.id, None)
-            if box.deliver(mail, self.sim.now):
-                self.count("delivered")
-                self.latencies.append(self.sim.now - mail.sent_s)
-                metrics = self.sim.obs
-                if metrics is not None:
-                    metrics.count("mailbox.delivered")
-            else:
-                self.count("duplicates_suppressed")
+            self._deliver_now(box, mail)
+
+    def _deliver_now(self, box: Mailbox, mail: Mail) -> bool:
+        """Spool ``mail`` into ``box`` at the current instant.
+
+        The shared tail of every delivery path — the per-daemon pump,
+        replica promotion after a crash, and gossip read-repair at the
+        home replica — so ledger pop, counters, and latency accounting
+        stay identical no matter which path completed the delivery.
+        """
+        self._pending.pop(mail.id, None)
+        if box.deliver(mail, self.sim.now):
+            self.count("delivered")
+            self.latencies.append(self.sim.now - mail.sent_s)
+            metrics = self.sim.obs
+            if metrics is not None:
+                metrics.count("mailbox.delivered")
+            self._note_stage(box, mail)
+            return True
+        self.count("duplicates_suppressed")
+        return False
 
     # -- failure / churn hooks ------------------------------------------------
 
@@ -532,8 +645,17 @@ class MailboxService:
         entry whose last dispatch touched the dead host is re-sent from
         a live daemon to the recipient's current home.  Per-mailbox
         dedup absorbs the copy that may still be in flight.
+
+        With replication armed the replication layer handles the
+        announcement instead: it promotes a surviving replica to home
+        (the promoted daemon already holds the mail durably) and only
+        falls back to ledger replay for mail no surviving replica ever
+        acked.
         """
         name = host.name
+        if self.replication is not None:
+            self.replication.on_host_failure(name)
+            return
         for mail in list(self._pending.values()):
             if name not in (mail.src_daemon, mail.dst_daemon):
                 continue
@@ -552,6 +674,8 @@ class MailboxService:
         the retired pump and are forwarded — dedup absorbs whichever
         arrives second.
         """
+        if self.replication is not None:
+            self.replication.on_daemon_retired(name)
         for mail in list(self._pending.values()):
             if mail.dst_daemon != name:
                 continue

@@ -88,6 +88,9 @@ class Network:
         #: Knowledge-phase listeners: run when a crash becomes *known*
         #: (immediately in oracle mode; at detection time otherwise).
         self._failure_listeners: list = []
+        #: Listeners for partition heals: ``listener(a, b)`` runs when
+        #: the fault injector restores the carrier on a cut link.
+        self._heal_listeners: list = []
         #: Hosts that crashed but whose failure is not yet announced.
         self._unannounced_crashes: set[str] = set()
         #: None = oracle mode (failures announced at crash time).  A
@@ -203,6 +206,20 @@ class Network:
     def add_restart_listener(self, listener) -> None:
         """``listener(host)`` runs when a crashed host restarts."""
         self._restart_listeners.append(listener)
+
+    def add_heal_listener(self, listener) -> None:
+        """``listener(a, b)`` runs when a partition between hosts
+        ``a`` and ``b`` heals.
+
+        Anti-entropy layers use this to lift exchange suspensions the
+        moment the carrier returns, instead of waiting out a timeout.
+        """
+        self._heal_listeners.append(listener)
+
+    def notify_heal(self, a: str, b: str) -> None:
+        """Announce a partition heal (called by the fault injector)."""
+        for listener in list(self._heal_listeners):
+            listener(a, b)
 
     def enable_detection(self, horizon_s: float) -> None:
         """Switch crash announcements from oracle to detection mode.

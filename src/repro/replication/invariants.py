@@ -1,0 +1,131 @@
+"""Replication invariants for the resilience monitor.
+
+Armed automatically by the facade whenever a cluster carries both a
+resilience policy and a replicated mailbox service; both follow the
+:class:`repro.resilience.Invariant` protocol (``check`` on every
+monitor tick, ``check_final`` at quiescence) and return a description
+string on violation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..resilience import Invariant
+
+__all__ = ["QuorumLiveness", "ReplicaConvergence"]
+
+
+class ReplicaConvergence(Invariant):
+    """All replicas of every mailbox converge to the same spool.
+
+    In-run: no replica may know a mail the canonical mailbox layer has
+    never minted, nor record a lifecycle stage beyond the canonical
+    one — replicas trail the truth, they never invent it.  Final: at
+    quiescence every replica set must have identical stage maps
+    (equal lifecycle digests) — the anti-entropy obligation.
+    """
+
+    name = "replica-convergence"
+
+    def __init__(self, service):
+        self.service = service
+        self.replication = service.replication
+
+    def _canonical_stage(self, uid: int, mid: int) -> Optional[int]:
+        box = self.service._boxes.get(uid)
+        if box is None:
+            return None
+        mail = box._mails.get(mid)
+        return None if mail is None else mail.stage
+
+    def check(self, now: float) -> Optional[str]:
+        repl = self.replication
+        if repl is None:
+            return None
+        for uid in sorted(repl._sets):
+            for member in repl._sets[uid]:
+                state = repl._state(member, uid)
+                for mid in sorted(state.stages):
+                    if mid not in repl._mail_records:
+                        return (
+                            f"replica {member} of mailbox uid={uid} "
+                            f"records unknown mail id={mid}"
+                        )
+                    canonical = self._canonical_stage(uid, mid)
+                    if (
+                        canonical is not None
+                        and state.stages[mid] > canonical
+                    ):
+                        return (
+                            f"replica {member} of mailbox uid={uid} "
+                            f"is ahead of the canonical lifecycle for "
+                            f"mail id={mid}: replica stage "
+                            f"{state.stages[mid]} > canonical "
+                            f"{canonical}"
+                        )
+        return None
+
+    def check_final(self, now: float) -> Optional[str]:
+        repl = self.replication
+        if repl is None:
+            return None
+        for uid in sorted(repl._sets):
+            digests = repl.digests(uid)
+            if len(set(digests.values())) > 1:
+                detail = ", ".join(
+                    f"{member}={digest[:12]}"
+                    for member, digest in sorted(digests.items())
+                )
+                return (
+                    f"mailbox uid={uid} replicas diverged at "
+                    f"quiescence: {detail}"
+                )
+        return None
+
+
+class QuorumLiveness(Invariant):
+    """Every mailbox keeps a write quorum of live replicas.
+
+    Checks that each replica set holds at least ``quorum``
+    known-live daemons — a daemon whose crash nobody has announced yet
+    still counts (detection-mode clusters learn of failures with a
+    lag; membership repair happens *at* the announcement, so flagging
+    the gap in between would be a false positive).
+    """
+
+    name = "quorum-liveness"
+
+    def __init__(self, service):
+        self.service = service
+        self.replication = service.replication
+
+    def _known_live(self, name: str) -> bool:
+        repl = self.replication
+        daemon = repl.system.daemons.get(name)
+        if daemon is None or daemon.retired:
+            return False
+        if not daemon.dead:
+            return True
+        return name in repl.system.network.unannounced_crashes
+
+    def _shortfall(self) -> Optional[str]:
+        repl = self.replication
+        if repl is None:
+            return None
+        for uid in sorted(repl._sets):
+            members = repl._sets[uid]
+            live = [m for m in members if self._known_live(m)]
+            if len(live) < repl.quorum:
+                return (
+                    f"mailbox uid={uid} lost its write quorum: "
+                    f"{len(live)}/{repl.quorum} known-live replicas "
+                    f"(members: {members})"
+                )
+        return None
+
+    def check(self, now: float) -> Optional[str]:
+        return self._shortfall()
+
+    def check_final(self, now: float) -> Optional[str]:
+        return self._shortfall()

@@ -53,6 +53,12 @@ class ScheduleSearcher:
         Fault-free runtime; crash atoms fire at fractions of it.
     crash_fractions / loss_rates:
         The atom vocabulary.
+    partition_pairs / partition_windows:
+        Extend the vocabulary with link partitions: one atom per
+        (host pair, window), cutting the pair at the window's first
+        fraction of the horizon and healing it at the second — so
+        every schedule that cuts a link also heals it, and convergence
+        after heal is what the run's invariants get to attack.
     violation_types:
         Exception classes that count as violations; anything else
         propagates (a searcher bug must not masquerade as a finding).
@@ -66,6 +72,8 @@ class ScheduleSearcher:
         seed: int = 0,
         crash_fractions: Sequence[float] = (0.25, 0.5, 0.75),
         loss_rates: Sequence[float] = (0.05,),
+        partition_pairs: Sequence = (),
+        partition_windows: Sequence = ((0.25, 0.75),),
         violation_types: tuple = (SimulationError,),
     ):
         if horizon_s <= 0:
@@ -84,6 +92,20 @@ class ScheduleSearcher:
                 })
         for rate in loss_rates:
             self.atoms.append({"kind": "drop", "rate": rate})
+        for a, b in partition_pairs:
+            for start, end in partition_windows:
+                if not 0 <= start < end:
+                    raise ValueError(
+                        f"partition window must satisfy 0 <= start < "
+                        f"end, got ({start}, {end})"
+                    )
+                self.atoms.append({
+                    "kind": "partition",
+                    "a": a,
+                    "b": b,
+                    "at": round(start * horizon_s, 9),
+                    "heal_at": round(end * horizon_s, 9),
+                })
         if not self.atoms:
             raise ValueError("empty atom vocabulary: nothing to search")
         self.schedules_run = 0
@@ -98,16 +120,35 @@ class ScheduleSearcher:
                 plan.crash(atom["host"], at=atom["at"])
             elif atom["kind"] == "drop":
                 plan.drop(atom["rate"])
+            elif atom["kind"] == "partition":
+                plan.partition(atom["a"], atom["b"], at=atom["at"])
+                plan.heal(atom["a"], atom["b"], at=atom["heal_at"])
             else:
                 raise ValueError(f"unknown atom kind {atom['kind']!r}")
         return plan
 
     def _valid(self, atoms: Sequence[dict]) -> bool:
         # At most one crash per host (no restart atoms in the
-        # vocabulary) and one global loss rate.
+        # vocabulary), one global loss rate, and non-overlapping
+        # partition windows per link (a second cut inside an open
+        # window would fail plan validation).
         crashed = [a["host"] for a in atoms if a["kind"] == "crash"]
         drops = [a for a in atoms if a["kind"] == "drop"]
-        return len(crashed) == len(set(crashed)) and len(drops) <= 1
+        if len(crashed) != len(set(crashed)) or len(drops) > 1:
+            return False
+        windows: dict = {}
+        for atom in atoms:
+            if atom["kind"] != "partition":
+                continue
+            windows.setdefault(
+                frozenset((atom["a"], atom["b"])), []
+            ).append((atom["at"], atom["heal_at"]))
+        for spans in windows.values():
+            spans.sort()
+            for (_, heal), (cut, _) in zip(spans, spans[1:]):
+                if cut < heal:
+                    return False
+        return True
 
     def _dfs_schedules(self, max_depth: int):
         for depth in range(1, max_depth + 1):

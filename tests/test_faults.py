@@ -112,6 +112,46 @@ class TestFaultPlanValidation:
         with pytest.raises(FaultPlanError, match="not\\s+partitioned"):
             FaultPlan().heal("a", "b", at=1.0).validate()
 
+    def test_heal_before_its_partition_rejected(self):
+        # Events are checked in virtual-time order, so a heal that
+        # precedes its cut is a heal of an uncut link.
+        plan = (
+            FaultPlan()
+            .heal("a", "b", at=1.0)
+            .partition("a", "b", at=2.0)
+        )
+        with pytest.raises(FaultPlanError, match="not\\s+partitioned"):
+            plan.validate()
+
+    def test_unhealed_then_recut_across_windows_rejected(self):
+        plan = (
+            FaultPlan()
+            .partition("a", "b", at=1.0)
+            .heal("a", "b", at=2.0)
+            .partition("a", "b", at=3.0)
+            .partition("a", "b", at=4.0)  # window 2 never healed
+        )
+        with pytest.raises(FaultPlanError, match="overlapping"):
+            plan.validate()
+
+    def test_disjoint_partition_windows_are_legal(self):
+        plan = (
+            FaultPlan()
+            .partition("a", "b", at=1.0)
+            .heal("a", "b", at=2.0)
+            .partition("a", "b", at=3.0)
+            .heal("b", "a", at=4.0)
+        )
+        assert plan.validate() is plan
+
+    def test_none_endpoints_rejected(self):
+        with pytest.raises(FaultPlanError, match="concrete host"):
+            FaultPlan().partition("a", None, at=1.0).validate()
+        with pytest.raises(FaultPlanError, match="concrete host"):
+            FaultPlan().heal(None, "b", at=1.0).validate()
+        with pytest.raises(FaultPlanError, match="concrete host"):
+            FaultPlan().crash(None, at=1.0).validate()
+
     def test_self_partition_rejected(self):
         with pytest.raises(FaultPlanError, match="itself"):
             FaultPlan().partition("a", "a", at=1.0).validate()

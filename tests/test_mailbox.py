@@ -18,7 +18,7 @@ from repro import (
     Mail,
     MailboxConfig,
 )
-from repro.mailbox import LIFECYCLE
+from repro.mailbox import LIFECYCLE, NoLiveDaemonError
 from repro.perf import TraceHasher
 from repro.resilience import ResiliencePolicy, ScheduleSearcher
 
@@ -301,6 +301,29 @@ class TestPollConsumers:
             c.consumer(node, lambda mail: None, poll_interval_s=0.0)
         with pytest.raises(ValueError, match="positive"):
             MailboxConfig(poll_interval_s=-1.0)
+
+
+class TestDeadCluster:
+    def test_send_with_every_daemon_dead_raises_typed_error(self):
+        c = build(n_hosts=2)
+        c.add_node("peer", daemon="host0")
+        for daemon in c.messengers.daemons.values():
+            daemon.dead = True
+        with pytest.raises(NoLiveDaemonError, match="no live daemon"):
+            c.send_mail("peer", "into the void")
+
+    def test_send_with_every_daemon_retired_raises_typed_error(self):
+        c = build(n_hosts=2)
+        c.add_node("peer", daemon="host0")
+        for daemon in c.messengers.daemons.values():
+            daemon.retired = True
+        with pytest.raises(NoLiveDaemonError, match="dead or retired"):
+            c.send_mail("peer", "into the void")
+
+    def test_error_is_a_simulation_error(self):
+        from repro.des import SimulationError
+
+        assert issubclass(NoLiveDaemonError, SimulationError)
 
 
 class TestNatives:
