@@ -12,6 +12,7 @@ Public surface:
 """
 
 from .core import (
+    MCL_BACKENDS,
     SCHEDULER_KINDS,
     AllOf,
     AnyOf,
@@ -19,7 +20,9 @@ from .core import (
     Event,
     Simulator,
     Timeout,
+    mcl_backend_default,
     scheduler_default,
+    set_default_mcl_backend,
     set_default_scheduler,
 )
 from .errors import (
@@ -40,8 +43,11 @@ __all__ = [
     "AnyOf",
     "CalendarQueue",
     "Event",
+    "MCL_BACKENDS",
     "SCHEDULER_KINDS",
+    "mcl_backend_default",
     "scheduler_default",
+    "set_default_mcl_backend",
     "set_default_scheduler",
     "EventAlreadyTriggered",
     "FilterStore",

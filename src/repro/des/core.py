@@ -135,6 +135,42 @@ def scheduler_default(kind: str):
         set_default_scheduler(previous)
 
 
+#: Valid values for ``Simulator(mcl_backend=...)``: the int-opcode
+#: interpreter (default) or the basic-block closures compiler
+#: (:mod:`repro.messengers.mcl.closures`).  Both produce bit-identical
+#: Command streams and instruction counts; only host wall clock differs.
+MCL_BACKENDS = ("interp", "closures")
+
+#: Process-wide default MCL backend for new simulators.
+_DEFAULT_MCL_BACKEND = "interp"
+
+
+def set_default_mcl_backend(kind: str) -> str:
+    """Set the MCL backend new :class:`Simulator`\\ s use by default.
+
+    Returns the previous default so callers can restore it.  Existing
+    simulators are unaffected — the kind is fixed at construction.
+    """
+    global _DEFAULT_MCL_BACKEND
+    if kind not in MCL_BACKENDS:
+        raise ValueError(
+            f"unknown MCL backend {kind!r}; expected one of {MCL_BACKENDS}"
+        )
+    previous = _DEFAULT_MCL_BACKEND
+    _DEFAULT_MCL_BACKEND = kind
+    return previous
+
+
+@contextmanager
+def mcl_backend_default(kind: str):
+    """Context manager: temporarily change the default MCL backend."""
+    previous = set_default_mcl_backend(kind)
+    try:
+        yield
+    finally:
+        set_default_mcl_backend(previous)
+
+
 class CalendarQueue:
     """Calendar (bucket) event queue with heap-identical pop order.
 
@@ -562,7 +598,11 @@ class Simulator:
         sim.run()
     """
 
-    def __init__(self, scheduler: Optional[str] = None):
+    def __init__(
+        self,
+        scheduler: Optional[str] = None,
+        mcl_backend: Optional[str] = None,
+    ):
         kind = _DEFAULT_SCHEDULER if scheduler is None else scheduler
         if kind not in SCHEDULER_KINDS:
             raise ValueError(
@@ -571,6 +611,17 @@ class Simulator:
             )
         #: Scheduler kind ("heap" or "calendar"), fixed at construction.
         self.scheduler = kind
+        backend = (
+            _DEFAULT_MCL_BACKEND if mcl_backend is None else mcl_backend
+        )
+        if backend not in MCL_BACKENDS:
+            raise ValueError(
+                f"unknown MCL backend {backend!r}; expected one of "
+                f"{MCL_BACKENDS}"
+            )
+        #: MCL execution backend ("interp" or "closures"), fixed at
+        #: construction; daemons resolve their VM entry point from it.
+        self.mcl_backend = backend
         self._now: float = 0.0
         # ``_push(queue, entry)`` / ``_pop(queue)`` are plain functions
         # resolved once here, so every schedule site pays one attribute

@@ -56,7 +56,7 @@ import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional, Union
 
-from .des import SCHEDULER_KINDS, Simulator
+from .des import MCL_BACKENDS, SCHEDULER_KINDS, Simulator
 from .mailbox import MailboxConfig
 from .netsim import CostModel, DEFAULT_COSTS, Network, build_lan
 from .obs import MetricsRegistry, cost_breakdown, format_breakdown
@@ -122,6 +122,14 @@ class ClusterConfig:
         ``"calendar"`` (the O(1)-amortised calendar queue for very
         large entity counts — see the README "Scale" section).  Both
         drain in bit-identical order; this is purely a perf knob.
+    ``mcl_backend``
+        MCL execution backend: ``None`` (the process-wide default,
+        normally ``"interp"``), ``"interp"`` (the int-opcode
+        interpreter) or ``"closures"`` (basic-block superinstructions
+        compiled to Python closures — see the README "Performance"
+        section).  Both produce bit-identical Command streams, trace
+        digests and interpretation accounting; this is purely a perf
+        knob.
     """
 
     n_hosts: int = 4
@@ -136,6 +144,7 @@ class ClusterConfig:
     service: Any = None
     name_prefix: str = "host"
     scheduler: Optional[str] = None
+    mcl_backend: Optional[str] = None
 
     def __post_init__(self):
         if self.n_hosts < 1:
@@ -149,6 +158,14 @@ class ClusterConfig:
             raise ValueError(
                 f"unknown scheduler {self.scheduler!r} (choose from "
                 f"{', '.join(SCHEDULER_KINDS)})"
+            )
+        if (
+            self.mcl_backend is not None
+            and self.mcl_backend not in MCL_BACKENDS
+        ):
+            raise ValueError(
+                f"unknown MCL backend {self.mcl_backend!r} (choose from "
+                f"{', '.join(MCL_BACKENDS)})"
             )
         if (
             isinstance(self.topology, str)
@@ -213,7 +230,9 @@ class Cluster:
             config = replace(config, n_hosts=n_hosts)
         self.config = config
 
-        self.sim = Simulator(scheduler=config.scheduler)
+        self.sim = Simulator(
+            scheduler=config.scheduler, mcl_backend=config.mcl_backend
+        )
         self.costs = (
             config.costs if config.costs is not None else DEFAULT_COSTS
         )
@@ -708,6 +727,11 @@ class Experiment:
 
     def name_prefix(self, prefix: str) -> "Experiment":
         self._config = replace(self._config, name_prefix=prefix)
+        return self
+
+    def mcl_backend(self, kind: str) -> "Experiment":
+        """Select the MCL execution backend (``"interp"``/``"closures"``)."""
+        self._config = replace(self._config, mcl_backend=kind)
         return self
 
     # -- terminal steps ------------------------------------------------------

@@ -35,6 +35,7 @@ from .mcl.bytecode import (
     HopCommand,
     SchedCommand,
 )
+from .mcl.closures import run as closures_run
 from .mcl.vm import run as vm_run
 from .messenger import Messenger
 from .natives import NativeEnv
@@ -69,6 +70,13 @@ class Daemon:
         self.system = system
         self.host = host
         self.sim = system.sim
+        #: VM entry point, resolved once from the simulator's backend
+        #: knob; both backends share signature and Command contract.
+        self._vm_run = (
+            closures_run
+            if getattr(self.sim, "mcl_backend", "interp") == "closures"
+            else vm_run
+        )
         self.ready: Store = Store(self.sim)
         self.stats = DaemonStats()
         #: Set by the system's crash listener while this daemon's host is
@@ -280,7 +288,7 @@ class Daemon:
             return self.system.netvar(self, messenger, name)
 
         try:
-            command = vm_run(
+            command = self._vm_run(
                 messenger.frame,
                 messenger.variables,
                 messenger.node.variables,

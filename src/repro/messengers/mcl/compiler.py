@@ -11,7 +11,10 @@ Two fast-path services live here as well:
 * **program cache** — :func:`compile_source`/:func:`compile_all` are
   memoised on the SHA-256 of the source text (plus function name), so
   repeated experiment replications over the same scripts parse and
-  compile exactly once per process and share one VM dispatch table;
+  compile exactly once per process and share one VM dispatch table.
+  The cache is a bounded :class:`LruCache` whose hit/miss counters are
+  exported as the ``mcl_cache_hits``/``mcl_cache_misses`` gauges (see
+  :meth:`~repro.messengers.system.MessengersSystem.compile`);
 * **constant folding** — constant subexpressions (``2 * 3 + 1``,
   ``-5``, ``!0``) are evaluated at compile time with the VM's own
   operator semantics and emitted as a single ``CONST``.  Expressions
@@ -22,7 +25,8 @@ Two fast-path services live here as well:
 from __future__ import annotations
 
 import hashlib
-from typing import Optional
+from collections import OrderedDict
+from typing import Any, Optional
 
 from . import ast
 from .bytecode import (
@@ -38,7 +42,13 @@ from .bytecode import (
 from .parser import parse
 from .vm import MclRuntimeError, _binop, _truthy
 
-__all__ = ["CompileError", "compile_function", "compile_source"]
+__all__ = [
+    "CompileError",
+    "LruCache",
+    "cache_stats",
+    "compile_function",
+    "compile_source",
+]
 
 _SCHED_NAMES = {
     "M_sched_time_abs": "abs",
@@ -54,11 +64,70 @@ class CompileError(SyntaxError):
 _NOT_CONST = object()
 
 
+class LruCache:
+    """Bounded LRU mapping with hit/miss counters.
+
+    Backs the compiled-program caches (module-level here, per-system in
+    :class:`~repro.messengers.system.MessengersSystem`).  The counters
+    feed the ``mcl_cache_hits`` / ``mcl_cache_misses`` obs gauges; the
+    bound keeps long generative sweeps (e.g. the Hypothesis differential
+    test compiling thousands of distinct programs) from growing the
+    cache without limit.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_data")
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key: Any) -> Any:
+        """The cached value (refreshed to most-recent), or None."""
+        data = self._data
+        try:
+            value = data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        data = self._data
+        data[key] = value
+        data.move_to_end(key)
+        if len(data) > self.capacity:
+            data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._data),
+            "capacity": self.capacity,
+        }
+
+
 #: Compiled-program cache keyed by (sha256(source), function name).
 #: Programs are immutable once compiled, so sharing them across callers
-#: (and whole experiment sweeps) is safe; the cache is unbounded because
-#: a process only ever sees a handful of distinct scripts.
-_program_cache: dict = {}
+#: (and whole experiment sweeps) is safe.
+_program_cache = LruCache(capacity=256)
+
+
+def cache_stats() -> dict:
+    """Hit/miss/size counters of the module-level program cache."""
+    return _program_cache.stats()
 
 
 def _source_key(source: str, name: Optional[str]) -> tuple:
@@ -74,7 +143,7 @@ def compile_source(
     if program is None:
         function = parse(source).function(name)
         program = compile_function(function, source=source)
-        _program_cache[key] = program
+        _program_cache.put(key, program)
     return program
 
 
@@ -89,7 +158,7 @@ def compile_all(source: str) -> dict:
             name: compile_function(fn, source=source)
             for name, fn in script.functions.items()
         }
-        _program_cache[key] = programs
+        _program_cache.put(key, programs)
     return programs
 
 

@@ -20,7 +20,7 @@ from .daemon import Daemon
 from .daemon_graph import DaemonNetwork
 from .logical import LogicalNetwork
 from .mcl.bytecode import Program
-from .mcl.compiler import compile_source
+from .mcl.compiler import LruCache, compile_source
 from .messenger import Messenger
 from .natives import NativeRegistry
 from .vtime import ConservativeVirtualTime
@@ -114,7 +114,7 @@ class MessengersSystem:
         #: service itself so churn events reach the durable mail layer.
         self.mailboxes = None
         self._placement_rotation: dict[str, itertools.cycle] = {}
-        self._program_cache: dict[tuple, Program] = {}
+        self._program_cache = LruCache(capacity=256)
         #: Hop-boundary checkpoints by messenger id (crash recovery).
         self._checkpoints: dict[int, _Checkpoint] = {}
         #: Crash victims awaiting the failure announcement, per host.
@@ -165,11 +165,25 @@ class MessengersSystem:
     def compile(
         self, source: str, function: Optional[str] = None
     ) -> Program:
-        """Compile (and cache) an MCL source function."""
+        """Compile (and cache) an MCL source function.
+
+        The per-system cache is a bounded LRU; its cumulative hit/miss
+        counters are exported through the obs registry as the
+        ``mcl_cache_hits`` / ``mcl_cache_misses`` gauges.  Gauges are
+        pure observability — they never feed back into the simulation,
+        so instrumented and plain runs stay bit-identical.
+        """
+        cache = self._program_cache
         key = (source, function)
-        if key not in self._program_cache:
-            self._program_cache[key] = compile_source(source, function)
-        return self._program_cache[key]
+        program = cache.get(key)
+        if program is None:
+            program = compile_source(source, function)
+            cache.put(key, program)
+        metrics = self.sim.obs
+        if metrics is not None:
+            metrics.gauge("mcl_cache_hits").set(cache.hits)
+            metrics.gauge("mcl_cache_misses").set(cache.misses)
+        return program
 
     # -- injection -----------------------------------------------------------
 

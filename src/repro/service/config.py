@@ -69,6 +69,12 @@ class ServiceConfig:
     burst_factor: float = 3.0
     diurnal_period_s: float = 0.3
     diurnal_depth: float = 0.8
+    # -- latency accounting -------------------------------------------------
+    #: Reservoir size for latency quantiles: 0 (default) keeps the
+    #: plain fixed-bucket estimate; k > 0 maintains a deterministic
+    #: k-sample uniform reservoir (Algorithm R on the workload's named
+    #: RNG stream) and reads tail quantiles from exact order statistics.
+    latency_reservoir: int = 0
 
     def __post_init__(self):
         if self.arrivals not in ARRIVAL_KINDS:
@@ -101,6 +107,8 @@ class ServiceConfig:
             raise ValueError("burst factor must be >= 1")
         if not 0.0 <= self.diurnal_depth < 1.0:
             raise ValueError("diurnal depth must be in [0, 1)")
+        if self.latency_reservoir < 0:
+            raise ValueError("latency reservoir cannot be negative")
 
     def with_(self, **overrides) -> "ServiceConfig":
         """A copy of this config with the given fields replaced."""

@@ -99,7 +99,17 @@ class ServiceWorkload:
         self.admission = AdmissionController(self.config.max_in_flight)
         self.breakers: Dict[str, CircuitBreaker] = {}
         self.rng = RngRegistry(cluster.config.seed)
-        self.latency_hist = Histogram("service.latency_s", LATENCY_BUCKETS)
+        reservoir = self.config.latency_reservoir
+        self.latency_hist = Histogram(
+            "service.latency_s",
+            LATENCY_BUCKETS,
+            reservoir=reservoir,
+            rng=(
+                self.rng.stream("service.latency_reservoir")
+                if reservoir
+                else None
+            ),
+        )
         self.counts: Dict[str, int] = {}
         self._inflight: Dict[int, tuple] = {}
         self._mode: Optional[str] = None

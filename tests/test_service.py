@@ -429,6 +429,30 @@ class TestFacade:
         assert config.with_(rate_rps=9.0).rate_rps == 9.0
         assert config.rate_rps == 125.0  # frozen original untouched
 
+    def test_latency_reservoir_plumbs_and_stays_deterministic(self):
+        # The reservoir samples from its own named RNG stream, so two
+        # identically-seeded runs report identical quantiles; a negative
+        # size is rejected at config time.
+        with pytest.raises(ValueError):
+            ServiceConfig(latency_reservoir=-1)
+
+        def run():
+            cluster = Cluster(config=ClusterConfig(
+                n_hosts=4,
+                seed=3,
+                service=ServiceConfig(
+                    rate_rps=150.0,
+                    duration_s=0.25,
+                    latency_reservoir=128,
+                ),
+            ))
+            return cluster.service.run("messengers")
+
+        first, second = run(), run()
+        assert first["latency_ms"] == second["latency_ms"]
+        assert first["latency_ms"]["p50"] > 0
+        assert first == second
+
 
 # ---------------------------------------------------------------------------
 # schedule search over the degradation invariants
